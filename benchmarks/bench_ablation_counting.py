@@ -1,0 +1,59 @@
+"""Ablation: dominance-counting engines (blocked / D&C / sweep / naive).
+
+The paper's Algorithms 1-2 vs the vectorized fast path: all engines
+must agree; the bench records their relative cost at several sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dstruct.dominance import (
+    count_dominators_blocked,
+    count_dominators_divide_conquer,
+    count_dominators_naive,
+    count_dominators_sweep,
+)
+from repro.experiments.report import render_table
+
+from conftest import publish
+
+_ENGINES_3D = {
+    "blocked": count_dominators_blocked,
+    "divide_conquer": count_dominators_divide_conquer,
+    "naive": count_dominators_naive,
+}
+
+
+def test_engines_agree_and_report(benchmark):
+    import time
+
+    rows = []
+    for n in (500, 2_000):
+        data = np.random.default_rng(n).random((n, 4))
+        reference = None
+        for name, engine in _ENGINES_3D.items():
+            started = time.perf_counter()
+            counts = engine(data)
+            elapsed = time.perf_counter() - started
+            if reference is None:
+                reference = counts
+            assert counts.tolist() == reference.tolist(), name
+            rows.append([n, name, round(elapsed, 4)])
+    publish(
+        "ablation_counting",
+        render_table(["n", "engine", "seconds"], rows),
+    )
+    benchmark(count_dominators_blocked, np.random.default_rng(9).random((500, 4)))
+
+
+@pytest.mark.parametrize("engine", sorted(_ENGINES_3D))
+def test_count_3d(benchmark, engine):
+    data = np.random.default_rng(7).random((1_000, 4))
+    benchmark(_ENGINES_3D[engine], data)
+
+
+def test_count_sweep_2d(benchmark):
+    data = np.random.default_rng(8).random((5_000, 2))
+    expected = count_dominators_blocked(data)
+    assert count_dominators_sweep(data).tolist() == expected.tolist()
+    benchmark(count_dominators_sweep, data)

@@ -1,0 +1,53 @@
+"""Ablation: dynamic maintenance vs rebuild (extension).
+
+Quantifies how much layer tightness insert/delete streams give up, and
+the amortized cost of absorbing an update vs rebuilding.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.dynamic import DynamicRobustLayers
+from repro.data import minmax_normalize, uniform
+from repro.experiments.report import render_table
+
+from conftest import publish
+
+
+def test_dynamic_maintenance(benchmark):
+    n = 1_000
+    data = minmax_normalize(uniform(n, 3, seed=41))
+    rng = np.random.default_rng(42)
+    idx = DynamicRobustLayers(data, n_partitions=8)
+
+    rows = []
+
+    def mass(k=50):
+        return int(np.count_nonzero(idx.layers() <= k))
+
+    rows.append(["initial", idx.size, mass()])
+    started = time.perf_counter()
+    for _ in range(50):
+        idx.insert(rng.random(3))
+    insert_seconds = time.perf_counter() - started
+    rows.append(["after 50 inserts", idx.size, mass()])
+    for _ in range(50):
+        idx.delete(int(rng.integers(idx.size)))
+    rows.append(["after 50 deletes", idx.size, mass()])
+    started = time.perf_counter()
+    idx.rebuild()
+    rebuild_seconds = time.perf_counter() - started
+    rows.append(["after rebuild", idx.size, mass()])
+
+    # Updates loosen layers (mass grows); rebuild restores tightness.
+    assert rows[3][2] <= rows[2][2]
+    publish(
+        "ablation_dynamic",
+        f"Dynamic maintenance (n={n}; 50 inserts then 50 deletes)\n"
+        + render_table(["state", "size", "top-50 mass"], rows)
+        + f"\nper-insert: {insert_seconds / 50 * 1000:.1f} ms;"
+          f"  rebuild: {rebuild_seconds:.2f} s",
+    )
+
+    benchmark(idx.insert, rng.random(3))

@@ -1,0 +1,50 @@
+"""Ablation: AppRI's layer quality vs the exact robust layers.
+
+Measures the mean layer ratio (approx / exact) as B grows, in 2-D
+(where Theorem 3's 1 - 1/B floor applies) and 3-D (where the
+complementary-pair structure saturates and the families extension
+recovers most of the remaining gap).
+"""
+
+import numpy as np
+
+from repro.core.appri import appri_layers
+from repro.core.exact import exact_robust_layers
+from repro.data import uniform
+from repro.experiments.report import render_table
+
+from conftest import publish
+
+
+def test_exactness_gap(benchmark):
+    rows = []
+    data2 = uniform(400, 2, seed=1)
+    exact2 = exact_robust_layers(data2)
+    for b in (2, 5, 10, 20):
+        approx = appri_layers(data2, n_partitions=b)
+        assert np.all(approx <= exact2)
+        rows.append(["2-D", b, "complementary",
+                     round(float(np.mean(approx / exact2)), 3)])
+
+    data3 = uniform(120, 3, seed=2)
+    exact3 = exact_robust_layers(data3)
+    for systems in ("complementary", "families"):
+        approx = appri_layers(data3, n_partitions=10, systems=systems)
+        assert np.all(approx <= exact3)
+        rows.append(["3-D", 10, systems,
+                     round(float(np.mean(approx / exact3)), 3)])
+    plus = appri_layers(data3, n_partitions=10, systems="families",
+                        refine="peel")
+    assert np.all(plus <= exact3)
+    rows.append(["3-D", 10, "families+peel",
+                 round(float(np.mean(plus / exact3)), 3)])
+
+    publish(
+        "ablation_exactness",
+        "Mean layer ratio (approximate / exact); higher is tighter\n"
+        + render_table(["dims", "B", "systems", "ratio"], rows),
+    )
+    benchmark.pedantic(
+        appri_layers, args=(data3,), kwargs={"n_partitions": 10},
+        rounds=3, iterations=1,
+    )

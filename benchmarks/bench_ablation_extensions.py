@@ -1,0 +1,50 @@
+"""Ablation: paper AppRI vs the AppRI+ extension (families + peel).
+
+Compares top-k layer mass (the retrieval cost) and build time.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.appri import appri_layers
+from repro.data import minmax_normalize, uniform
+from repro.experiments.harness import scaled
+from repro.experiments.report import render_table
+
+from conftest import publish
+
+
+def test_extension_tightens_layers(benchmark):
+    n = scaled(10_000, 2_000)
+    data = minmax_normalize(uniform(n, 3, seed=12))
+
+    started = time.perf_counter()
+    base = appri_layers(data, n_partitions=10)
+    base_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    plus = appri_layers(data, n_partitions=10, systems="families",
+                        refine="peel")
+    plus_seconds = time.perf_counter() - started
+
+    assert np.all(plus >= base)  # strictly tighter or equal layers
+    rows = []
+    for k in (10, 50, 100):
+        rows.append([
+            k,
+            int(np.count_nonzero(base <= k)),
+            int(np.count_nonzero(plus <= k)),
+        ])
+    rows.append(["build s", round(base_seconds, 2), round(plus_seconds, 2)])
+    publish(
+        "ablation_extensions",
+        f"Top-k layer mass, AppRI vs AppRI+ (n={n})\n"
+        + render_table(["k", "AppRI", "AppRI+"], rows),
+    )
+
+    small = data[:300]
+    benchmark.pedantic(
+        appri_layers, args=(small,),
+        kwargs={"systems": "families", "refine": "peel"},
+        rounds=3, iterations=1,
+    )

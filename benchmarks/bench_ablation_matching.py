@@ -1,0 +1,39 @@
+"""Ablation: Lemma-3 closed form vs exact greedy staircase matching.
+
+DESIGN.md calls out that the two are provably equal; this bench
+verifies the equality end-to-end on real builds and compares their
+costs (matching is a tiny fraction of the build either way).
+"""
+
+import numpy as np
+
+from repro.core.appri import appri_layers
+from repro.core.matching import greedy_staircase_matching, lemma3_bound
+from repro.experiments.report import render_table
+
+from conftest import publish
+
+
+def test_matching_rules_identical(benchmark, bench_data):
+    greedy = appri_layers(bench_data, n_partitions=10, matching="greedy")
+    formula = appri_layers(bench_data, n_partitions=10, matching="lemma3")
+    assert greedy.tolist() == formula.tolist()
+
+    rng = np.random.default_rng(0)
+    i_rows = rng.integers(0, 40, size=(10_000, 10))
+    iii_rows = rng.integers(0, 40, size=(10_000, 10))
+    assert (
+        greedy_staircase_matching(i_rows, iii_rows).tolist()
+        == lemma3_bound(i_rows, iii_rows).tolist()
+    )
+    rows = [["greedy == lemma3 on full build", True],
+            ["rows checked (synthetic wedges)", 10_000]]
+    publish("ablation_matching", render_table(["check", "value"], rows))
+    benchmark(greedy_staircase_matching, i_rows, iii_rows)
+
+
+def test_lemma3_timing(benchmark):
+    rng = np.random.default_rng(1)
+    i_rows = rng.integers(0, 40, size=(10_000, 10))
+    iii_rows = rng.integers(0, 40, size=(10_000, 10))
+    benchmark(lemma3_bound, i_rows, iii_rows)

@@ -1,0 +1,39 @@
+"""Ablation: the Onion/Shell progressive stop rule vs scanning k layers.
+
+The paper's query algorithm can stop before the k-th layer; this
+quantifies how much of Shell's advantage comes from that early stop.
+"""
+
+import numpy as np
+
+from repro import LinearQuery, ShellIndex
+from repro.data import minmax_normalize, uniform
+from repro.experiments.report import render_table
+from repro.queries.workload import grid_weight_workload
+
+from conftest import publish
+
+
+def test_stop_rule_savings(benchmark):
+    data = minmax_normalize(uniform(2_000, 3, seed=5))
+    index = ShellIndex(data)
+    offsets = np.cumsum(
+        np.bincount(index.layers, minlength=index.layers.max() + 1)
+    )
+    queries = grid_weight_workload(3, 10, seed=6)
+
+    rows = []
+    for k in (10, 30, 50):
+        with_stop = [index.query(q, k).retrieved for q in queries]
+        without = int(offsets[min(k, offsets.size - 1)])
+        rows.append(
+            [k, round(sum(with_stop) / len(with_stop), 1), without]
+        )
+        # The stop rule never reads more than the k-layer prefix.
+        assert max(with_stop) <= without
+    publish(
+        "ablation_stoprule",
+        "Shell: early-stop retrieval vs full k-layer prefix\n"
+        + render_table(["k", "avg with stop rule", "k-layer mass"], rows),
+    )
+    benchmark(index.query, LinearQuery([1, 2, 1]), 50)

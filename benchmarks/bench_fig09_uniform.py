@@ -1,0 +1,24 @@
+"""Figure 9: avg tuples retrieved vs top-k on uniform data."""
+
+from repro import LinearQuery, ShellIndex
+from repro.experiments import fig9
+
+from conftest import publish
+
+
+def test_fig09(benchmark):
+    result = fig9()
+    publish("fig09", result["text"])
+
+    series = result["series"]
+    # Paper shape: the full-hull Onion is the clear loser; retrieval
+    # grows with k for every method.
+    for k_idx in range(len(result["ks"])):
+        assert series["Onion"][k_idx] >= series["Shell"][k_idx]
+    for name, values in series.items():
+        assert values[-1] >= values[0], name
+
+    import numpy as np
+    data = np.random.default_rng(2).random((1_000, 3))
+    index = ShellIndex(data)
+    benchmark(index.query, LinearQuery([1, 2, 3]), 50)

@@ -1,0 +1,22 @@
+"""Figure 10: avg tuples retrieved (top-50) vs data correlation."""
+
+from repro.core.appri import appri_layers
+from repro.data import correlated, minmax_normalize
+from repro.experiments import fig10
+
+from conftest import publish
+
+
+def test_fig10(benchmark):
+    result = fig10()
+    publish("fig10", result["text"])
+
+    appri = result["series"]["AppRI"]
+    # Paper shape: correlation creates domination relations, so AppRI
+    # retrieves (weakly) fewer tuples as c grows; the correlated end
+    # must be clearly below the uniform end.
+    assert appri[-1] < appri[0]
+    assert min(appri) >= 50
+
+    data = minmax_normalize(correlated(300, 3, 0.5, seed=0))
+    benchmark.pedantic(appri_layers, args=(data,), rounds=3, iterations=1)

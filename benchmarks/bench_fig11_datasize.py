@@ -1,0 +1,24 @@
+"""Figure 11: avg tuples retrieved (top-50) vs data size (c = 0.5)."""
+
+from repro import LinearQuery, PreferIndex
+from repro.data import correlated, minmax_normalize
+from repro.experiments import fig11
+
+from conftest import publish
+
+
+def test_fig11(benchmark):
+    result = fig11()
+    publish("fig11", result["text"])
+
+    appri = result["series"]["AppRI"]
+    sizes = result["sizes"]
+    # Paper shape: AppRI's retrieval grows only mildly with data size
+    # (sub-linear): scaling n by sizes[-1]/sizes[0] must not scale the
+    # retrieval proportionally.
+    growth = appri[-1] / max(appri[0], 1)
+    assert growth < (sizes[-1] / sizes[0]) * 0.8
+
+    data = minmax_normalize(correlated(1_000, 3, 0.5, seed=3))
+    index = PreferIndex(data)
+    benchmark(index.query, LinearQuery([1, 1, 2]), 50)

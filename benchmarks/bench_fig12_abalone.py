@@ -1,0 +1,23 @@
+"""Figure 12: query performance on the abalone3d surrogate."""
+
+from repro import LinearQuery, RobustIndex
+from repro.data import abalone3d, minmax_normalize
+from repro.experiments import fig12
+
+from conftest import publish
+
+
+def test_fig12(benchmark):
+    result = fig12()
+    publish("fig12", result["text"])
+
+    series = result["series"]
+    # Paper shape on strongly correlated real data: AppRI beats Shell
+    # across the top-k sweep on average.
+    appri_avg = sum(series["AppRI"]) / len(series["AppRI"])
+    shell_avg = sum(series["Shell"]) / len(series["Shell"])
+    assert appri_avg < shell_avg * 1.5
+
+    data = minmax_normalize(abalone3d()[:1000])
+    index = RobustIndex(data, n_partitions=10)
+    benchmark(index.query, LinearQuery([2, 1, 1]), 50)

@@ -1,0 +1,23 @@
+"""Figure 14: one view vs three views (PREFER and AppRI)."""
+
+from repro import LinearQuery, RobustMultiView
+from repro.data import cover3d, minmax_normalize
+from repro.experiments import fig14
+
+from conftest import publish
+
+
+def test_fig14(benchmark):
+    result = fig14()
+    publish("fig14", result["text"])
+
+    series = result["series"]
+    one = sum(series["AppRI (1 view)"])
+    three = sum(series["AppRI (3 views)"])
+    # Paper shape: the three-view robust index retrieves fewer tuples
+    # than the single view across the sweep.
+    assert three < one
+
+    data = minmax_normalize(cover3d(n=800))
+    index = RobustMultiView(data, n_partitions=8)
+    benchmark(index.query, LinearQuery([3, 1, 2]), 50)

@@ -1,0 +1,40 @@
+"""Related-work comparison (paper Section 2): TA and R-tree baselines.
+
+Not a paper figure — the paper only argues these categories
+qualitatively — but the arguments are testable: the distributive
+Threshold Algorithm "does not exploit attribute correlation" the way a
+sequential index does, and the spatial approach's effectiveness hinges
+on how tightly bounding boxes wrap the data.
+"""
+
+from repro import LinearQuery
+from repro.data import correlated, minmax_normalize
+from repro.experiments.harness import build_index, measure_retrieval, scaled
+from repro.experiments.report import render_table
+from repro.queries.workload import grid_weight_workload
+
+from conftest import publish
+
+
+def test_related_work_baselines(benchmark):
+    n = scaled(10_000, 2_000)
+    queries = grid_weight_workload(3, 10, seed=42)
+    methods = ["AppRI", "Shell", "TA", "R-tree"]
+    rows = []
+    indexes = {}
+    for c in (0.0, 0.8):
+        data = minmax_normalize(correlated(n, 3, c, seed=13))
+        for m in methods:
+            index, _ = build_index(m, data)
+            stats = measure_retrieval(index, queries, 50)
+            assert stats.correct, m
+            rows.append([c, m, stats.min, stats.max, round(stats.avg, 1)])
+            indexes[(c, m)] = index
+    publish(
+        "related_work",
+        f"Related-work baselines, top-50, n={n}\n"
+        + render_table(["c", "method", "min", "max", "avg"], rows),
+    )
+
+    rtree = indexes[(0.8, "R-tree")]
+    benchmark(rtree.query, LinearQuery([1, 2, 1]), 50)

@@ -1,0 +1,50 @@
+"""Sensitivity sweep: AppRI vs Shell across a (correlation x B) grid.
+
+Goes beyond the paper's one-axis figures: measures how the AppRI /
+Shell trade-off shifts jointly with data correlation and the partition
+budget, using the generic sweep utility.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.sweeps import pivot, sweep
+
+from conftest import publish
+
+
+def test_sensitivity_grid(benchmark):
+    records = sweep(
+        methods=["AppRI", "Shell"],
+        n_values=[800],
+        c_values=[0.0, 0.5, 0.9],
+        b_values=[4, 10],
+        k=50,
+        n_queries=6,
+    )
+    assert all(r.correct for r in records)
+
+    rows = [
+        [r.params["c"], r.params["B"], r.method,
+         round(r.avg_retrieved, 1), r.max_retrieved]
+        for r in sorted(
+            records, key=lambda r: (r.params["c"], r.params["B"], r.method)
+        )
+    ]
+    publish(
+        "sensitivity_sweep",
+        "AppRI vs Shell over (correlation x B), top-50, n=800\n"
+        + render_table(["c", "B", "method", "avg", "max"], rows),
+    )
+
+    # Pivot sanity: correlation helps AppRI monotonically at fixed B.
+    xs, series = pivot(
+        [r for r in records if r.params["B"] == 10], "c"
+    )
+    appri = series["AppRI"]
+    assert appri[0] > appri[-1]
+
+    benchmark.pedantic(
+        sweep,
+        kwargs=dict(methods=["Shell"], n_values=[400], c_values=[0.5],
+                    b_values=[4], k=20, n_queries=3),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,31 @@
+"""Table 1: min/max/avg tuples retrieved for top-50 queries.
+
+Regenerates the paper's headline comparison (PREFER / Onion-shell /
+Robust on a real-data surrogate and uniform synthetic data) and times
+one robust-index query.
+"""
+
+from repro import LinearQuery, RobustIndex
+from repro.experiments import table1
+
+from conftest import publish
+
+
+def test_table1(benchmark, bench_data):
+    result = table1()
+    publish("table1", result["text"])
+
+    # Paper claim: Robust's cost is perfectly flat (weight-independent)
+    # on both data sets, and on the skewed real data its worst case
+    # beats PREFER's by a wide margin.  (On uniform data at reduced
+    # scale a lucky 10-query workload can keep PREFER's observed max
+    # low, so the worst-case comparison is asserted on the real set.)
+    for dataset in result["results"].values():
+        robust_min, robust_max, _ = dataset["Robust"]
+        assert robust_min == robust_max  # weight-independent cost
+    real = result["results"]["Real (cover3d)"]
+    assert real["Robust"][1] < real["PREFER"][1]
+
+    index = RobustIndex(bench_data, n_partitions=10)
+    query = LinearQuery([1.0, 2.0, 4.0])
+    benchmark(index.query, query, 50)

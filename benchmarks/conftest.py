@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper table/figure (or an ablation),
+writes the rendered text to ``benchmarks/results/`` and prints it, then
+times a representative operation through pytest-benchmark.  Sizes obey
+``REPRO_FULL`` (see repro.experiments.harness).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def publish(name: str, text: str) -> None:
+    """Persist one experiment's rendered output and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def bench_data():
+    """A shared modest data set for micro-benchmarks."""
+    from repro.data import minmax_normalize, uniform
+
+    return minmax_normalize(uniform(1_000, 3, seed=99))

@@ -1,0 +1,46 @@
+"""Every index in the library on one data set, one table, one chart.
+
+Builds all ten index variants over the same relation, replays a grid
+workload at several k, and renders the retrieval curves as a terminal
+chart — a quick way to see who wins where without any plotting stack.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro.data import correlated, minmax_normalize
+from repro.experiments.asciiplot import ascii_chart
+from repro.experiments.harness import build_index, measure_retrieval
+from repro.experiments.report import render_table
+from repro.queries.workload import grid_weight_workload
+
+
+def main() -> None:
+    data = minmax_normalize(correlated(1_500, 3, c=0.4, seed=8))
+    queries = grid_weight_workload(3, 10, seed=17)
+    ks = [10, 25, 50, 75, 100]
+    methods = ["AppRI", "AppRI+", "Shell", "Onion", "PREFER", "TA", "R-tree"]
+
+    series: dict[str, list[float]] = {}
+    rows = []
+    for name in methods:
+        index, record = build_index(name, data)
+        curve = []
+        for k in ks:
+            stats = measure_retrieval(index, queries, k)
+            assert stats.correct, name
+            curve.append(stats.avg)
+        series[name] = curve
+        rows.append([name, round(record.seconds, 3)]
+                    + [round(v, 1) for v in curve])
+
+    print(f"avg tuples retrieved (n={data.shape[0]}, c=0.4, "
+          f"{len(queries)} grid queries)\n")
+    print(render_table(["index", "build s"] + [f"k={k}" for k in ks], rows))
+    print()
+    # The chart gets crowded past a few series; show the headliners.
+    headline = {m: series[m] for m in ("AppRI", "Shell", "PREFER", "TA")}
+    print(ascii_chart(ks, headline, title="retrieval vs k", x_label="k"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Robustness study: worst-case retrieval over the whole weight grid.
+
+Reproduces the spirit of the paper's Table 1 on a single data set: for
+every weight combination on the {1,2,3,4}^3 grid (64 queries), how many
+tuples does each index read?  PREFER's spread is enormous, Shell's is
+moderate, AppRI's is zero — its cost is a function of k alone.  Also
+demonstrates the exact solver and the extension modes on a small
+sample.
+
+Run:  python examples/robustness_study.py
+"""
+
+import numpy as np
+
+from repro import (
+    ExactRobustIndex,
+    LinearQuery,
+    PreferIndex,
+    RobustIndex,
+    ShellIndex,
+)
+from repro.data import minmax_normalize, uniform
+from repro.queries.workload import all_grid_weights
+
+
+def spread_table(data: np.ndarray, k: int) -> None:
+    queries = list(all_grid_weights(3))
+    robust = RobustIndex(data, n_partitions=10)
+    robust_plus = RobustIndex(
+        data, n_partitions=10, systems="families", refine="peel"
+    )
+    shell = ShellIndex(data)
+    prefer = PreferIndex(data)
+
+    print(f"retrieval spread over all {len(queries)} grid queries, "
+          f"top-{k}, n={data.shape[0]}:\n")
+    print(f"{'index':>8s}  {'min':>6s}  {'max':>6s}  {'avg':>8s}  {'spread':>7s}")
+    for index, label in (
+        (prefer, "PREFER"),
+        (shell, "Shell"),
+        (robust, "AppRI"),
+        (robust_plus, "AppRI+"),
+    ):
+        costs = [index.query(q, k).retrieved for q in queries]
+        mn, mx = min(costs), max(costs)
+        avg = sum(costs) / len(costs)
+        print(f"{label:>8s}  {mn:6d}  {mx:6d}  {avg:8.1f}  {mx - mn:7d}")
+
+
+def exact_comparison(seed: int = 3) -> None:
+    """On a small 2-D sample, compare AppRI's layers with exact ones.
+
+    Two dimensions so the exact sweep is fast and Theorem 3's
+    ``1 - 1/B`` quality floor applies directly.
+    """
+    small = uniform(400, 2, seed=seed)
+    exact = ExactRobustIndex(small)
+    for b in (2, 5, 10):
+        approx = RobustIndex(small, n_partitions=b)
+        ratio = float(np.mean(approx.layers / exact.layers))
+        print(f"  B={b:2d}: mean layer ratio vs exact = {ratio:.3f} "
+              f"(theory floor 1 - 1/B = {1 - 1 / b:.3f} for d=2)")
+    plus = RobustIndex(small, n_partitions=10, systems="families",
+                       refine="peel")
+    ratio = float(np.mean(plus.layers / exact.layers))
+    print(f"  extension (families+peel, B=10): ratio = {ratio:.3f}")
+
+
+def main() -> None:
+    data = minmax_normalize(uniform(2_000, 3, seed=17))
+    spread_table(data, k=50)
+    print("\nexactness check on a 400-tuple 2-D sample:")
+    exact_comparison()
+
+
+if __name__ == "__main__":
+    main()

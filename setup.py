@@ -1,0 +1,7 @@
+"""Shim for environments whose pip cannot do PEP-660 editable installs
+(no `wheel` package available offline).  `pip install -e . --no-use-pep517
+--no-build-isolation` uses this; everything real lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

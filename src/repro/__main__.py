@@ -1,0 +1,265 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+info
+    Version and component inventory.
+generate
+    Write a synthetic or surrogate data set to CSV.
+build
+    Build a robust index over a CSV file and save it as ``.npz``.
+query
+    Run a top-k query against a saved index.
+audit
+    Check a saved index's layering soundness.
+sql
+    Execute a ranked SQL statement against a CSV-backed table.
+figure
+    Regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(args) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — robust indexing for ranked queries")
+    print("paper: Xin, Chen & Han, VLDB 2006")
+    print("indexes:", ", ".join(sorted(_builders())))
+    return 0
+
+
+def _builders():
+    from repro.experiments.harness import INDEX_BUILDERS
+
+    return INDEX_BUILDERS
+
+
+def _cmd_generate(args) -> int:
+    from repro.data import (
+        abalone3d,
+        anticorrelated,
+        correlated,
+        cover3d,
+        uniform,
+    )
+    from repro.data.io import save_csv
+
+    if args.kind == "uniform":
+        data = uniform(args.n, args.d, seed=args.seed)
+    elif args.kind == "correlated":
+        data = correlated(args.n, args.d, args.c, seed=args.seed)
+    elif args.kind == "anticorrelated":
+        data = anticorrelated(args.n, args.d, seed=args.seed)
+    elif args.kind == "abalone":
+        data = abalone3d()[: args.n]
+    else:
+        data = cover3d(n=args.n)
+    names = [f"a{i + 1}" for i in range(data.shape[1])]
+    save_csv(args.output, names, data)
+    print(f"wrote {data.shape[0]} x {data.shape[1]} tuples to {args.output}")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    from repro.data import minmax_normalize
+    from repro.data.io import load_csv
+    from repro.indexes.robust import RobustIndex
+
+    names, data = load_csv(args.data)
+    if args.normalize:
+        data = minmax_normalize(data)
+    index = RobustIndex(
+        data,
+        n_partitions=args.partitions,
+        systems=args.systems,
+        refine="peel" if args.peel else None,
+    )
+    index.save(args.output)
+    info = index.build_info()
+    print(
+        f"indexed {index.size} tuples ({', '.join(names)}): "
+        f"{info['n_layers']} layers in {info['build_seconds']:.2f}s "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def _parse_weights(text: str) -> np.ndarray:
+    try:
+        return np.array([float(x) for x in text.split(",") if x.strip()])
+    except ValueError:
+        raise SystemExit(f"bad --weights {text!r}; expected e.g. 1,2,4")
+
+
+def _cmd_query(args) -> int:
+    from repro.indexes.robust import RobustIndex
+    from repro.queries.ranking import LinearQuery
+
+    index = RobustIndex.load(args.index)
+    query = LinearQuery(_parse_weights(args.weights))
+    result = index.query(query, args.k)
+    print(
+        f"top-{args.k} of {index.size} tuples "
+        f"(retrieved {result.retrieved}):"
+    )
+    for rank, tid in enumerate(result.tids, 1):
+        values = ", ".join(f"{v:.4g}" for v in index.points[tid])
+        print(f"  {rank:3d}. tid={tid}  ({values})")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from repro.core.validate import audit_layering
+    from repro.indexes.robust import RobustIndex
+
+    index = RobustIndex.load(args.index)
+    report = audit_layering(
+        index.points, index.layers, n_queries=args.queries, seed=args.seed
+    )
+    print(report.summary())
+    return 0 if report.sound else 1
+
+
+def _cmd_sql(args) -> int:
+    from repro.core.appri import appri_layers
+    from repro.data.io import relation_from_csv
+    from repro.engine import Catalog, TopKExecutor
+    from repro.engine.executor import materialize_layers
+    from repro.engine.sql import parse
+
+    parsed = parse(args.statement)
+    catalog = Catalog()
+    relation = relation_from_csv(parsed.table, args.data)
+    catalog.create_table(relation)
+    executor = TopKExecutor(catalog)
+    if parsed.layer_bound is not None:
+        layers = appri_layers(relation.matrix(), n_partitions=args.partitions)
+        store = materialize_layers(catalog, parsed.table, layers)
+        executor.register_store(parsed.table, store)
+    result = executor.execute(parsed)
+    if result.plan == "explain":
+        print(result.extra["text"])
+        return 0
+    print(f"plan: {result.plan}   retrieved: {result.retrieved} tuples, "
+          f"{result.blocks_read} blocks")
+    names = result.rows.schema.names
+    print("  ".join(names))
+    for tid in result.tids:
+        row = catalog.table(parsed.table).row(int(tid))
+        print("  ".join(f"{row[n]:.6g}" for n in names))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro import experiments
+
+    size_kw = "n"
+    runners = {
+        "table1": experiments.table1,
+        "fig6": experiments.fig6_fig7,
+        "fig7": experiments.fig6_fig7,
+        "fig8": experiments.fig8,
+        "fig9": experiments.fig9,
+        "fig10": experiments.fig10,
+        "fig11": experiments.fig11,
+        "fig12": experiments.fig12,
+        "fig13": experiments.fig13,
+        "fig14": experiments.fig14,
+    }
+    if args.name not in runners:
+        raise SystemExit(
+            f"unknown figure {args.name!r}; choose from {sorted(runners)}"
+        )
+    kwargs = {}
+    if args.n is not None:
+        # fig8/fig11 sweep sizes rather than taking a single n.
+        if args.name in ("fig8", "fig11"):
+            kwargs["sizes"] = [args.n // 2, args.n]
+        else:
+            kwargs[size_kw] = args.n
+    result = runners[args.name](**kwargs)
+    print(result["text"])
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and component inventory")
+
+    p = sub.add_parser("generate", help="write a data set to CSV")
+    p.add_argument("--kind", default="uniform",
+                   choices=["uniform", "correlated", "anticorrelated",
+                            "abalone", "cover"])
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--d", type=int, default=3)
+    p.add_argument("--c", type=float, default=0.5,
+                   help="correlation parameter (correlated kind)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+
+    p = sub.add_parser("build", help="build and save a robust index")
+    p.add_argument("data", help="input CSV (header + numeric rows)")
+    p.add_argument("-o", "--output", required=True, help="output .npz")
+    p.add_argument("--partitions", type=int, default=10)
+    p.add_argument("--systems", default="complementary",
+                   choices=["complementary", "families"])
+    p.add_argument("--peel", action="store_true",
+                   help="apply the shell-peel refinement")
+    p.add_argument("--normalize", action="store_true",
+                   help="min-max normalize attributes before indexing")
+
+    p = sub.add_parser("query", help="top-k query against a saved index")
+    p.add_argument("index", help="index .npz from 'build'")
+    p.add_argument("--weights", required=True, help="e.g. 1,2,4")
+    p.add_argument("-k", type=int, default=10)
+
+    p = sub.add_parser("audit", help="verify a saved index's soundness")
+    p.add_argument("index")
+    p.add_argument("--queries", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("sql", help="run a ranked SQL statement on a CSV")
+    p.add_argument("data", help="CSV backing the table named in FROM")
+    p.add_argument("statement",
+                   help='e.g. "SELECT TOP 5 FROM t ORDER BY 2*a1 + a2"')
+    p.add_argument("--partitions", type=int, default=10,
+                   help="AppRI partitions when a layer column is needed")
+
+    p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    p.add_argument("name", help="table1 or fig6..fig14")
+    p.add_argument("--n", type=int, default=None,
+                   help="override the data size (quick look)")
+
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "generate": _cmd_generate,
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "audit": _cmd_audit,
+    "sql": _cmd_sql,
+    "figure": _cmd_figure,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

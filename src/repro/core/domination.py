@@ -1,0 +1,129 @@
+"""Domination and domination sets (paper Definitions 4-5, Lemma 1).
+
+A tuple ``u`` *dominates* ``t`` when ``u <= t`` componentwise; every
+monotone query then scores ``u`` at or below ``t``.  A set
+``DS = {u_1, ..., u_p}`` is a *domination set* of ``t`` when some
+convex combination of its members dominates ``t``; Lemma 1 shows at
+least one member of a domination set precedes ``t`` under every
+monotone linear query, which is what lets AppRI push ``t`` into deeper
+layers.
+
+The functions here are the semantic ground truth the approximation is
+tested against; they are deliberately simple (LP feasibility via
+``scipy.optimize.linprog``) rather than fast.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+from scipy.optimize import linprog
+
+__all__ = [
+    "dominates",
+    "strictly_dominates",
+    "is_domination_set",
+    "domination_witness",
+    "is_minimal_domination_set",
+    "exclusive_two_domination_bound_bruteforce",
+]
+
+
+def dominates(u, t) -> bool:
+    """Weak componentwise domination: ``u <= t`` everywhere."""
+    u = np.asarray(u, dtype=float)
+    t = np.asarray(t, dtype=float)
+    return bool(np.all(u <= t))
+
+
+def strictly_dominates(u, t) -> bool:
+    """Strict componentwise domination: ``u < t`` everywhere."""
+    u = np.asarray(u, dtype=float)
+    t = np.asarray(t, dtype=float)
+    return bool(np.all(u < t))
+
+
+def domination_witness(members: np.ndarray, t, tol: float = 1e-9):
+    """Convex weights combining ``members`` into a dominator of ``t``.
+
+    Solves the feasibility LP ``exists v >= 0, sum v = 1,
+    members^T v <= t`` and returns the weight vector, or ``None`` when
+    no convex combination dominates ``t``.
+    """
+    members = np.atleast_2d(np.asarray(members, dtype=float))
+    t = np.asarray(t, dtype=float)
+    p, d = members.shape
+    if t.shape != (d,):
+        raise ValueError("t must match the members' dimensionality")
+    result = linprog(
+        c=np.zeros(p),
+        A_ub=members.T,
+        b_ub=t + tol,
+        A_eq=np.ones((1, p)),
+        b_eq=[1.0],
+        bounds=[(0, 1)] * p,
+        method="highs",
+    )
+    if not result.success:
+        return None
+    return np.asarray(result.x)
+
+
+def is_domination_set(members: np.ndarray, t, tol: float = 1e-9) -> bool:
+    """True when some convex combination of ``members`` dominates ``t``."""
+    return domination_witness(members, t, tol=tol) is not None
+
+
+def is_minimal_domination_set(members: np.ndarray, t, tol: float = 1e-9) -> bool:
+    """A domination set is minimal when no proper subset dominates."""
+    members = np.atleast_2d(np.asarray(members, dtype=float))
+    if not is_domination_set(members, t, tol=tol):
+        return False
+    p = members.shape[0]
+    for size in range(1, p):
+        for subset in combinations(range(p), size):
+            if is_domination_set(members[list(subset)], t, tol=tol):
+                return False
+    return True
+
+
+def exclusive_two_domination_bound_bruteforce(
+    points: np.ndarray, tid: int, tol: float = 1e-9
+) -> int:
+    """Reference ``|DS^1| + |EDS^2|`` bound via exhaustive matching.
+
+    Counts the dominators of ``points[tid]``, then finds the maximum
+    set of *mutually exclusive* 2-domination sets among the remaining
+    tuples with a maximum bipartite matching over all candidate pairs.
+    Exponentially safer than it sounds: intended for the tiny instances
+    the tests use to validate AppRI's partitioned lower bound.
+    """
+    pts = np.asarray(points, dtype=float)
+    n, _ = pts.shape
+    t = pts[tid]
+    others = [i for i in range(n) if i != tid]
+    dominators = [i for i in others if strictly_dominates(pts[i], t)]
+    rest = [i for i in others if i not in dominators]
+
+    pairs = [
+        (u, v)
+        for u, v in combinations(rest, 2)
+        if is_domination_set(pts[[u, v]], t, tol=tol)
+    ]
+    return len(dominators) + _max_matching(rest, pairs)
+
+
+def _max_matching(nodes, pairs) -> int:
+    """Exact maximum matching in a general graph.
+
+    Candidate-pair graphs can contain odd cycles (pairs may straddle
+    different subspace splits), so this delegates to networkx's blossom
+    implementation rather than a plain augmenting-path search.
+    """
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_nodes_from(nodes)
+    graph.add_edges_from(pairs)
+    return len(nx.max_weight_matching(graph, maxcardinality=True))

@@ -1,0 +1,328 @@
+"""Exact robust layers (paper Section 4).
+
+Theorem 1 reduces robust indexing to computing, for every tuple ``t``,
+the *minimal rank* of ``t`` over all monotone linear queries; the
+robust layer is exactly that minimal rank.  This module implements the
+exact computation:
+
+d = 1
+    The full sort; each tuple's layer is its 1-based rank.
+d = 2
+    The paper's rotating sweep: parametrize the weight simplex as
+    ``w = (lam, 1 - lam)``; each other tuple contributes at most one
+    boundary event where its score crosses ``t``'s, and the rank is
+    piecewise constant between events.  ``O(n log n)`` per tuple.
+d = 3
+    An arrangement sweep over the 2-D weight triangle
+    ``{(a, b) : a, b >= 0, a + b <= 1}``: each other tuple induces a
+    line; the rank is constant on each arrangement cell; every cell's
+    closure contains an arrangement vertex, so evaluating the rank at
+    every vertex and at points nudged into each angular sector around
+    every vertex visits every cell.  ``O(n^2)`` candidate points per
+    tuple, evaluated vectorized.
+
+For d > 3 no exact solver is provided (the paper's ``O(n^d log n)``
+construction is impractical there and all of its experiments use
+d = 3); :func:`minimal_rank_sampled` gives a sampled *upper bound*
+instead.
+
+Ranks use the library-wide tie rule: a tuple ``s`` precedes ``t`` when
+its score is strictly smaller, or the scores tie and ``s`` has the
+smaller tid.  Queries lying exactly on an event boundary are themselves
+evaluated, so ties are handled exactly, not ignored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.weights import sample_simplex, simplex_grid
+
+__all__ = [
+    "exact_robust_layers",
+    "minimal_rank",
+    "minimal_rank_sampled",
+]
+
+#: Relative tolerance for "this score difference is zero" in the d=3
+#: vertex evaluation.  Differences are scaled by the data spread.
+_REL_TOL = 1e-9
+
+
+def exact_robust_layers(points: np.ndarray) -> np.ndarray:
+    """The exact robust layer (= minimal rank) of every tuple.
+
+    Supported for d <= 3; raises ``ValueError`` beyond that.
+    """
+    pts = _as_points(points)
+    n, d = pts.shape
+    if n == 0:
+        return np.zeros(0, dtype=np.intp)
+    if d == 1:
+        order = np.lexsort((np.arange(n), pts[:, 0]))
+        layers = np.empty(n, dtype=np.intp)
+        layers[order] = np.arange(1, n + 1)
+        return layers
+    if d == 2:
+        return np.array(
+            [_minimal_rank_2d(pts, t) for t in range(n)], dtype=np.intp
+        )
+    if d == 3:
+        return np.array(
+            [_minimal_rank_3d(pts, t) for t in range(n)], dtype=np.intp
+        )
+    raise ValueError(
+        "exact robust layers are implemented for d <= 3 "
+        "(the paper's experiments all use d = 3); "
+        "use minimal_rank_sampled for an upper bound in higher dimensions"
+    )
+
+
+def minimal_rank(points: np.ndarray, tid: int) -> int:
+    """Minimal rank of one tuple over all monotone linear queries."""
+    pts = _as_points(points)
+    d = pts.shape[1]
+    if not 0 <= tid < pts.shape[0]:
+        raise IndexError(f"tid {tid} out of range")
+    if d == 1:
+        smaller = int(np.count_nonzero(pts[:, 0] < pts[tid, 0]))
+        ties_before = int(np.count_nonzero(pts[:tid, 0] == pts[tid, 0]))
+        return 1 + smaller + ties_before
+    if d == 2:
+        return _minimal_rank_2d(pts, tid)
+    if d == 3:
+        return _minimal_rank_3d(pts, tid)
+    raise ValueError("minimal_rank is exact for d <= 3 only")
+
+
+def minimal_rank_sampled(
+    points: np.ndarray,
+    tid: int,
+    n_samples: int = 512,
+    grid_resolution: int | None = None,
+    seed: int | None = 0,
+) -> int:
+    """Sampled **upper bound** on the minimal rank of ``tid``.
+
+    Evaluates the tuple's rank under random simplex queries (plus an
+    optional exhaustive weight grid) and returns the best rank seen.
+    The true minimal rank is <= this value; tests use it to sandwich
+    the exact solvers.
+    """
+    pts = _as_points(points)
+    d = pts.shape[1]
+    weights = sample_simplex(d, n_samples, seed=seed)
+    if grid_resolution:
+        weights = np.vstack([weights, simplex_grid(d, grid_resolution)])
+    weights = np.vstack([weights, np.eye(d)])
+    scores = pts @ weights.T  # (n, q)
+    mine = scores[tid]
+    before = (scores < mine).sum(axis=0)
+    ties = (scores[:tid] == mine[None, :]).sum(axis=0)
+    ranks = 1 + before + ties
+    return int(ranks.min())
+
+
+def _as_points(points: np.ndarray) -> np.ndarray:
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be a 2-D array; got shape {pts.shape}")
+    return pts
+
+
+def _minimal_rank_2d(pts: np.ndarray, tid: int) -> int:
+    """Rotating sweep over ``w = (lam, 1 - lam)``, ``lam`` in [0, 1].
+
+    For another tuple ``s`` let ``g(lam) = w . (s - t)``; ``s`` precedes
+    ``t`` where ``g < 0`` (or ``g = 0`` with a smaller tid).  Dominators
+    always precede; dominated tuples never do; region-I tuples
+    (better on A1, worse on A2) start not-preceding and flip at their
+    crossing ``lam*``; region-III tuples flip the other way.  The count
+    is swept across sorted events with ``cumsum``; at each event the
+    exact tie-aware count is also evaluated, because the boundary
+    weight vector is itself a legal query.
+    """
+    n = pts.shape[0]
+    t = pts[tid]
+    diff = pts - t  # (n, 2); row tid is zero
+    d1, d2 = diff[:, 0], diff[:, 1]
+    tids = np.arange(n)
+    not_self = tids != tid
+
+    # Tuples that precede t for every lam (g(0) <= 0 and g(1) <= 0 with
+    # at least one strict, or full tie with smaller tid).
+    always = not_self & (
+        ((d1 < 0) & (d2 < 0))
+        | ((d1 == 0) & (d2 < 0))
+        | ((d1 < 0) & (d2 == 0))
+        | ((d1 == 0) & (d2 == 0) & (tids < tid))
+    )
+    region_i = not_self & (d1 < 0) & (d2 > 0)
+    region_iii = not_self & (d1 > 0) & (d2 < 0)
+
+    base = int(np.count_nonzero(always))
+
+    # Crossing points: g(lam) = d2 + lam * (d1 - d2) = 0.
+    lam_i = d2[region_i] / (d2[region_i] - d1[region_i])
+    lam_iii = d2[region_iii] / (d2[region_iii] - d1[region_iii])
+    deltas = np.concatenate(
+        [np.ones(lam_i.size, dtype=np.intp), -np.ones(lam_iii.size, dtype=np.intp)]
+    )
+    lams = np.concatenate([lam_i, lam_iii])
+    # At the event itself the tuple ties with t, so it precedes t only
+    # when its tid is smaller.  Region-I tuples were not counted in the
+    # interval before (adjust +1 when tid smaller); region-III tuples
+    # were counted (adjust -1 when tid larger).
+    smaller_tid = np.concatenate(
+        [tids[region_i] < tid, tids[region_iii] < tid]
+    )
+    at_adjust = np.where(
+        deltas > 0, smaller_tid.astype(np.intp), -(~smaller_tid).astype(np.intp)
+    )
+
+    start = base + int(np.count_nonzero(region_iii))  # count on [0, first event)
+    if lams.size == 0:
+        return 1 + start
+
+    order = np.argsort(lams, kind="stable")
+    lams, deltas, at_adjust = lams[order], deltas[order], at_adjust[order]
+    interval_counts = start + np.cumsum(deltas)
+
+    best = min(start, int(interval_counts.min()))
+
+    # Exact counts at event points; group events sharing a lam.
+    boundaries = np.flatnonzero(np.diff(lams) > 0)
+    group_starts = np.concatenate([[0], boundaries + 1])
+    group_ends = np.concatenate([boundaries + 1, [lams.size]])
+    cum_adjust = np.cumsum(at_adjust)
+    for lo, hi in zip(group_starts, group_ends):
+        before_group = start if lo == 0 else int(interval_counts[lo - 1])
+        adjust = int(cum_adjust[hi - 1] - (cum_adjust[lo - 1] if lo else 0))
+        best = min(best, before_group + adjust)
+    return 1 + best
+
+
+def _minimal_rank_3d(pts: np.ndarray, tid: int) -> int:
+    """Arrangement sweep over the 2-D weight triangle for d = 3.
+
+    The weight simplex is parametrized by ``(a, b)`` with
+    ``w = (a, b, 1 - a - b)``.  Tuple ``s`` precedes ``t`` where
+    ``g_s(a, b) = c_s + alpha_s a + beta_s b < 0``.  The rank is
+    constant on every cell of the line arrangement ``{g_s = 0}``
+    clipped to the triangle, so it suffices to evaluate it at every
+    arrangement vertex (tie-aware) and at one nudged point inside each
+    angular sector around each vertex.
+    """
+    n = pts.shape[0]
+    if n == 1:
+        return 1
+    t = pts[tid]
+    diff = np.delete(pts, tid, axis=0) - t
+    other_tids = np.delete(np.arange(n), tid)
+    scale = max(1.0, float(np.abs(diff).max()))
+    tol = _REL_TOL * scale
+
+    c = diff[:, 2]
+    alpha = diff[:, 0] - diff[:, 2]
+    beta = diff[:, 1] - diff[:, 2]
+
+    candidates = _triangle_candidates(c, alpha, beta, tol)
+
+    # Vectorized rank evaluation at all candidate points.
+    g = (
+        c[:, None]
+        + alpha[:, None] * candidates[:, 0][None, :]
+        + beta[:, None] * candidates[:, 1][None, :]
+    )  # (n - 1, m)
+    strictly_before = g < -tol
+    tie = np.abs(g) <= tol
+    counts = strictly_before.sum(axis=0) + (
+        tie & (other_tids < tid)[:, None]
+    ).sum(axis=0)
+    return 1 + int(counts.min())
+
+
+def _triangle_candidates(c, alpha, beta, tol) -> np.ndarray:
+    """Candidate (a, b) points covering every cell of the arrangement.
+
+    Includes: nudged triangle corners, all pairwise line intersections
+    inside the (slightly padded) triangle, line/triangle-edge
+    intersections, and sector points around each vertex.
+    """
+    eps = 1e-7
+    corners = np.array(
+        [[eps, eps], [1 - 2 * eps, eps], [eps, 1 - 2 * eps], [1 / 3, 1 / 3]]
+    )
+    # Triangle edges expressed in the same (c, alpha, beta) form:
+    # a = 0, b = 0, and a + b = 1.
+    edge_c = np.array([0.0, 0.0, -1.0])
+    edge_alpha = np.array([1.0, 0.0, 1.0])
+    edge_beta = np.array([0.0, 1.0, 1.0])
+    all_c = np.concatenate([c, edge_c])
+    all_alpha = np.concatenate([alpha, edge_alpha])
+    all_beta = np.concatenate([beta, edge_beta])
+
+    m = all_c.size
+    i_idx, j_idx = np.triu_indices(m, k=1)
+    a1, b1, c1 = all_alpha[i_idx], all_beta[i_idx], all_c[i_idx]
+    a2, b2, c2 = all_alpha[j_idx], all_beta[j_idx], all_c[j_idx]
+    det = a1 * b2 - a2 * b1
+    ok = np.abs(det) > tol
+    pad = 1e-9
+    with np.errstate(divide="ignore", invalid="ignore"):
+        va = (-c1 * b2 + c2 * b1) / det
+        vb = (-a1 * c2 + a2 * c1) / det
+        inside = (
+            ok
+            & np.isfinite(va)
+            & np.isfinite(vb)
+            & (va >= -pad)
+            & (vb >= -pad)
+            & (va + vb <= 1 + pad)
+        )
+    vertices = np.stack([va[inside], vb[inside]], axis=1)
+    if vertices.size == 0:
+        return corners
+
+    # Deduplicate vertices on a fine grid to bound the sector work.
+    rounded = np.round(vertices / (10 * tol + 1e-15))
+    _, keep = np.unique(rounded, axis=0, return_index=True)
+    vertices = vertices[np.sort(keep)]
+
+    sector_points = _sector_points(vertices, all_c, all_alpha, all_beta, tol)
+    pts = np.vstack([corners, vertices, sector_points])
+    # Clamp into the closed triangle (nudges may step slightly outside).
+    keep_mask = (
+        (pts[:, 0] >= -1e-12)
+        & (pts[:, 1] >= -1e-12)
+        & (pts[:, 0] + pts[:, 1] <= 1 + 1e-12)
+    )
+    return pts[keep_mask]
+
+
+def _sector_points(vertices, c, alpha, beta, tol) -> np.ndarray:
+    """One point nudged into each angular sector around each vertex.
+
+    The sectors are delimited by the lines incident to the vertex;
+    their bisector directions, followed for a small step, land inside
+    every cell whose closure contains the vertex.
+    """
+    out = []
+    step = 1e-6
+    for va, vb in vertices:
+        residual = c + alpha * va + beta * vb
+        incident = np.abs(residual) <= 100 * tol
+        if not incident.any():
+            continue
+        # A line alpha*a + beta*b + c = 0 runs along (-beta, alpha).
+        angles = np.arctan2(alpha[incident], -beta[incident]) % np.pi
+        angles = np.unique(np.round(angles, 12))
+        # Directions of the incident lines, doubled to cover both
+        # half-directions, then bisected.
+        full = np.sort(np.concatenate([angles, angles + np.pi]))
+        bisectors = (full + np.diff(np.concatenate([full, [full[0] + 2 * np.pi]])) / 2)
+        for theta in bisectors:
+            out.append([va + step * np.cos(theta), vb + step * np.sin(theta)])
+    if not out:
+        return np.zeros((0, 2))
+    return np.asarray(out)

@@ -1,0 +1,277 @@
+"""Subspace pair systems and gamma-wedge partitions (paper Section 5.1.3).
+
+Relative to a tuple ``t``, the 2^d orthant-like subspaces are indexed
+by a bitmask over dimensions: bit ``j`` set means the other tuple lies
+*above* ``t`` on dimension ``j`` (a dominated dimension); bit clear
+means below (a dominating dimension).  Mask 0 holds the dominators
+(1-domination sets); the full mask holds tuples ``t`` dominates.
+
+A **pair system** is an unordered pair of subspace masks ``(m_a, m_b)``
+with ``m_a & m_b == 0``: no dimension is "above" on both sides, so a
+convex combination of one tuple from each side can dominate ``t``.
+The paper uses only the *complementary* systems ``m_b = ~m_a``
+(Eqns 1-2); the generalized systems with shared below-dimensions
+``D = ~(m_a | m_b)`` are this library's extension (see
+``appri_layers(systems="families")``) — the Lemma-4 argument goes
+through verbatim with the extra ``u_i < t_i`` constraints for
+``i in D`` carried along.
+
+For a system with side-a above-dims ``J1``, side-b above-dims ``J2``
+and shared below-dims ``D``, the nested level regions are:
+
+    a_p = { u : u_i < t_i  (i in D),   u_j > t_j  (j in J1),
+                gamma_p u_i + u_j <= gamma_p t_i + t_j
+                for (i, j) in J2 x J1 }
+    b_p = { v : v_i < t_i  (i in D),   v_i > t_i  (i in J2),
+                gamma_p v_i + v_j <= gamma_p t_i + t_j
+                for (i, j) in J2 x J1 }
+
+(the remaining subspace constraints — below on J2 for side a, below
+on J1 for side b — are implied by the bilinear inequalities).  With an
+increasing gamma grid, ``a_1 ⊆ ... ⊆ a`` and ``b_{B-1} ⊆ ... ⊆ b``;
+wedge ``I_i = a_i \\ a_{i-1}`` pairs with wedge ``III_j`` whenever
+``i + j <= B`` (Lemma 4).
+
+Each region membership is a componentwise strict-dominance comparison
+in a transformed space (paper Example 4), so all counting reduces to
+:mod:`repro.dstruct.dominance`.  Strict comparisons undercount on
+boundary ties, keeping the final layer bound sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SubspacePair",
+    "subspace_pairs",
+    "pair_systems",
+    "disjoint_system_families",
+    "transformed_dimension",
+    "subspace_transform",
+    "level_transform",
+    "max_transformed_dimension",
+]
+
+
+@dataclass(frozen=True)
+class SubspacePair:
+    """One pair system: two compatible subspaces relative to a tuple.
+
+    ``side_a_above``/``side_b_above`` are the dimensions on which side
+    a / side b tuples exceed ``t``; ``shared_below`` are the dimensions
+    on which *both* sides lie below ``t`` (empty for the paper's
+    complementary systems).
+    """
+
+    side_a_above: tuple[int, ...]
+    side_b_above: tuple[int, ...]
+    shared_below: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        overlap = set(self.side_a_above) & set(self.side_b_above)
+        if overlap:
+            raise ValueError(f"sides overlap on dimensions {sorted(overlap)}")
+        if not self.side_a_above or not self.side_b_above:
+            raise ValueError("each side needs at least one above-dimension")
+
+    @property
+    def dimensions(self) -> int:
+        return (
+            len(self.side_a_above)
+            + len(self.side_b_above)
+            + len(self.shared_below)
+        )
+
+    @property
+    def is_complementary(self) -> bool:
+        return not self.shared_below
+
+    @property
+    def mask(self) -> int:
+        """Side a's above-dimension bitmask."""
+        return sum(1 << j for j in self.side_a_above)
+
+    @property
+    def complement_mask(self) -> int:
+        """Side b's above-dimension bitmask."""
+        return sum(1 << j for j in self.side_b_above)
+
+    # Backwards-compatible vocabulary for the complementary case: side
+    # a's dominating dimensions are everything it is not above on.
+    @property
+    def dominated_dims(self) -> tuple[int, ...]:
+        return self.side_a_above
+
+    @property
+    def dominating_dims(self) -> tuple[int, ...]:
+        return tuple(sorted(self.shared_below + self.side_b_above))
+
+
+def _bits(mask: int, dimensions: int) -> tuple[int, ...]:
+    return tuple(j for j in range(dimensions) if mask & (1 << j))
+
+
+def subspace_pairs(dimensions: int) -> list[SubspacePair]:
+    """The paper's ``2^{d-1} - 1`` complementary pair systems."""
+    if dimensions < 1:
+        raise ValueError("dimensions must be positive")
+    full = (1 << dimensions) - 1
+    pairs = []
+    for mask in range(1, 1 << (dimensions - 1)):
+        pairs.append(
+            SubspacePair(
+                side_a_above=_bits(mask, dimensions),
+                side_b_above=_bits(full ^ mask, dimensions),
+            )
+        )
+    return pairs
+
+
+def pair_systems(dimensions: int, include_partial: bool = True) -> list[SubspacePair]:
+    """All compatible pair systems (masks disjoint, both non-empty).
+
+    With ``include_partial=False`` this reduces to
+    :func:`subspace_pairs`.  Systems are enumerated with
+    ``mask_a < mask_b`` to avoid mirrored duplicates.
+    """
+    if not include_partial:
+        return subspace_pairs(dimensions)
+    if dimensions < 1:
+        raise ValueError("dimensions must be positive")
+    full = (1 << dimensions) - 1
+    systems = []
+    for mask_a in range(1, full + 1):
+        for mask_b in range(mask_a + 1, full + 1):
+            if mask_a & mask_b:
+                continue
+            shared = full ^ (mask_a | mask_b)
+            systems.append(
+                SubspacePair(
+                    side_a_above=_bits(mask_a, dimensions),
+                    side_b_above=_bits(mask_b, dimensions),
+                    shared_below=_bits(shared, dimensions),
+                )
+            )
+    return systems
+
+
+def disjoint_system_families(
+    systems: list[SubspacePair], max_families: int = 512
+) -> list[tuple[int, ...]]:
+    """Maximal sets of systems whose subspace masks are pairwise disjoint.
+
+    Exclusivity of the |EDS^2| bound requires each subspace's tuples to
+    be consumed by at most one system, so a sound combined bound sums
+    over one *family* of mask-disjoint systems; taking the maximum over
+    all maximal families is still sound.  Returns tuples of indices
+    into ``systems``; enumeration is capped at ``max_families`` (the
+    first family enumerated is always the all-complementary one, the
+    paper's configuration).
+    """
+    # A system consumes the tuples of its two subspaces; encode that
+    # footprint as a bit-set indexed by subspace mask so disjointness
+    # is "no subspace is consumed twice" (complementary systems with
+    # different masks are compatible with each other).
+    masks = [(1 << s.mask) | (1 << s.complement_mask) for s in systems]
+    complementary = tuple(
+        i for i, s in enumerate(systems) if s.is_complementary
+    )
+    families: list[tuple[int, ...]] = []
+    seen: set[tuple[int, ...]] = set()
+
+    def extend(chosen: tuple[int, ...], used: int, start: int) -> None:
+        if len(families) >= max_families:
+            return
+        extendable = False
+        for i in range(len(systems)):
+            if masks[i] & used:
+                continue
+            extendable = True
+            if i >= start:
+                extend(chosen + (i,), used | masks[i], i + 1)
+        if not extendable:
+            key = tuple(sorted(chosen))
+            if key not in seen:
+                seen.add(key)
+                families.append(key)
+
+    if complementary:
+        families.append(complementary)
+        seen.add(complementary)
+    extend((), 0, 0)
+    return families
+
+
+def transformed_dimension(pair: SubspacePair) -> int:
+    """Dimensionality of the level-region transform.
+
+    ``|D| + |J1| + |J2| * |J1|``; for complementary systems this is the
+    paper's ``g + l * g``.
+    """
+    return (
+        len(pair.shared_below)
+        + len(pair.side_a_above)
+        + len(pair.side_b_above) * len(pair.side_a_above)
+    )
+
+
+def max_transformed_dimension(dimensions: int) -> int:
+    """The paper's ``r(d) = max over splits of g*(l+1)``.
+
+    Equals ``ceil(d/2) * floor(d/2) + ceil(d/2)`` (complementary
+    systems only; partial systems are never wider).
+    """
+    half_up = (dimensions + 1) // 2
+    half_down = dimensions // 2
+    return half_up * half_down + half_up
+
+
+def subspace_transform(points: np.ndarray, pair: SubspacePair, side: str) -> np.ndarray:
+    """Transform whose strict-dominance counts give full subspace sizes.
+
+    ``u`` lies in side a's subspace of ``t`` iff ``u_i < t_i`` on
+    ``D + J2`` and ``u_j > t_j`` on ``J1``, i.e. the transformed row
+    ``[x_{D+J2}, -x_{J1}]`` of ``u`` strictly dominates ``t``'s.
+    Side b swaps the two above-sets.
+    """
+    pts = np.asarray(points, dtype=float)
+    shared = list(pair.shared_below)
+    if side == "a":
+        keep = shared + list(pair.side_b_above)
+        negate = list(pair.side_a_above)
+    elif side == "b":
+        keep = shared + list(pair.side_a_above)
+        negate = list(pair.side_b_above)
+    else:
+        raise ValueError(f"side must be 'a' or 'b'; got {side!r}")
+    return np.hstack([pts[:, keep], -pts[:, negate]])
+
+
+def level_transform(
+    points: np.ndarray, pair: SubspacePair, gamma: float, side: str
+) -> np.ndarray:
+    """Transform whose strict-dominance counts give ``|a_p|``/``|b_p|``.
+
+    Side a at level gamma: ``u in a_p(t)`` iff on the transformed rows
+    ``[x_D, -x_{J1}, (gamma x_i + x_j)_{(i,j) in J2 x J1}]`` ``u``
+    strictly dominates ``t`` (the ``u_i < t_i`` constraints for
+    ``i in J2`` are implied by the bilinear ones).  Side b negates the
+    ``J2`` coordinates instead of the ``J1`` ones.
+    """
+    pts = np.asarray(points, dtype=float)
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    j1 = list(pair.side_a_above)
+    j2 = list(pair.side_b_above)
+    shared = [pts[:, i] for i in pair.shared_below]
+    bilinear = [gamma * pts[:, i] + pts[:, j] for i in j2 for j in j1]
+    if side == "a":
+        lead = shared + [-pts[:, j] for j in j1]
+    elif side == "b":
+        lead = shared + [-pts[:, i] for i in j2]
+    else:
+        raise ValueError(f"side must be 'a' or 'b'; got {side!r}")
+    return np.stack(lead + bilinear, axis=1)

@@ -1,0 +1,27 @@
+"""Data generators: the paper's synthetic families and real-data surrogates."""
+
+from .io import load_csv, relation_from_csv, relation_to_csv, save_csv
+from .real import ABALONE_ATTRIBUTES, COVER_ATTRIBUTES, abalone3d, cover3d
+from .synthetic import (
+    anticorrelated,
+    clustered,
+    correlated,
+    minmax_normalize,
+    uniform,
+)
+
+__all__ = [
+    "uniform",
+    "correlated",
+    "anticorrelated",
+    "clustered",
+    "minmax_normalize",
+    "abalone3d",
+    "cover3d",
+    "ABALONE_ATTRIBUTES",
+    "COVER_ATTRIBUTES",
+    "load_csv",
+    "save_csv",
+    "relation_from_csv",
+    "relation_to_csv",
+]

@@ -1,0 +1,85 @@
+"""CSV import/export for relations and layered indexes.
+
+Small, dependency-free (csv module + NumPy) loaders so the CLI and
+downstream users can index their own data: a header row of attribute
+names followed by numeric rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..engine.relation import Relation
+
+__all__ = ["load_csv", "save_csv", "relation_from_csv", "relation_to_csv"]
+
+
+def load_csv(path) -> tuple[list[str], np.ndarray]:
+    """Read a numeric CSV with a header row.
+
+    Returns ``(attribute_names, (n, d) float matrix)``.  Raises
+    ``ValueError`` on ragged or non-numeric rows with the offending
+    line number.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        return _parse(csv.reader(handle), source=str(path))
+
+
+def loads_csv(text: str) -> tuple[list[str], np.ndarray]:
+    """Parse CSV content from a string (used by tests)."""
+    return _parse(csv.reader(io.StringIO(text)), source="<string>")
+
+
+def _parse(reader, source: str) -> tuple[list[str], np.ndarray]:
+    rows = [row for row in reader if row]
+    if not rows:
+        raise ValueError(f"{source}: empty CSV")
+    header = [name.strip() for name in rows[0]]
+    if not header or any(not name for name in header):
+        raise ValueError(f"{source}: malformed header {rows[0]!r}")
+    width = len(header)
+    values = []
+    for lineno, row in enumerate(rows[1:], start=2):
+        if len(row) != width:
+            raise ValueError(
+                f"{source}:{lineno}: expected {width} fields, got {len(row)}"
+            )
+        try:
+            values.append([float(cell) for cell in row])
+        except ValueError as exc:
+            raise ValueError(f"{source}:{lineno}: non-numeric cell") from exc
+    matrix = (
+        np.asarray(values, dtype=float)
+        if values
+        else np.zeros((0, width))
+    )
+    return header, matrix
+
+
+def save_csv(path, attribute_names, matrix) -> None:
+    """Write a header + numeric rows."""
+    matrix = np.asarray(matrix, dtype=float)
+    names = list(attribute_names)
+    if matrix.ndim != 2 or matrix.shape[1] != len(names):
+        raise ValueError("matrix width must match the attribute names")
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        writer.writerows(matrix.tolist())
+
+
+def relation_from_csv(name: str, path) -> Relation:
+    """Load a CSV straight into an engine relation."""
+    header, matrix = load_csv(path)
+    return Relation.from_matrix(name, header, matrix)
+
+
+def relation_to_csv(relation: Relation, path) -> None:
+    """Persist a relation's (float view of) columns as CSV."""
+    save_csv(path, relation.schema.names, relation.matrix())

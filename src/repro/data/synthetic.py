@@ -1,0 +1,117 @@
+"""Synthetic data generators (paper Section 6.1).
+
+The paper uses a modified version of the Borzsonyi et al. skyline data
+generator: independent uniform data, plus a family of increasingly
+*correlated* data sets controlled by a parameter ``c`` (``c = 0`` is
+uniform; larger ``c`` concentrates tuples around the main diagonal,
+creating more domination relations), and the classic anti-correlated
+distribution as a stress case.
+
+All generators are deterministic given a seed and produce values in
+``[0, 1]`` with (almost surely) duplicate-free columns, matching the
+paper's no-duplicates assumption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform",
+    "correlated",
+    "anticorrelated",
+    "clustered",
+    "minmax_normalize",
+]
+
+
+def _rng(seed):
+    return np.random.default_rng(seed)
+
+
+def uniform(n: int, d: int, seed: int | None = 0) -> np.ndarray:
+    """Independent uniform tuples in the unit hypercube."""
+    _check(n, d)
+    return _rng(seed).random((n, d))
+
+
+def correlated(n: int, d: int, c: float, seed: int | None = 0) -> np.ndarray:
+    """Correlation-controlled tuples (the paper's Figure-10 family).
+
+    Each tuple blends a shared per-tuple level with independent noise:
+    ``x_ij = c * u_i + (1 - c) * e_ij`` with ``u_i, e_ij ~ U[0, 1]``.
+    ``c = 0`` reduces to :func:`uniform`; ``c = 1`` would collapse to
+    the diagonal, so a whisper of noise is retained to keep columns
+    duplicate-free.  The pairwise correlation grows monotonically with
+    ``c`` (``rho = c^2 / (c^2 + (1-c)^2)``).
+    """
+    _check(n, d)
+    if not 0.0 <= c <= 1.0:
+        raise ValueError("correlation parameter c must lie in [0, 1]")
+    rng = _rng(seed)
+    shared = rng.random((n, 1))
+    noise = rng.random((n, d))
+    blend = c * shared + (1.0 - c) * noise
+    if c == 1.0:
+        blend = blend + 1e-9 * noise
+    return np.clip(blend, 0.0, 1.0)
+
+
+def anticorrelated(n: int, d: int, seed: int | None = 0,
+                   spread: float = 0.15) -> np.ndarray:
+    """Anti-correlated tuples near the plane ``sum_i x_i = d/2``.
+
+    Good on one attribute means bad on the others — the adversarial
+    case for domination-based layering (huge skylines).
+    """
+    _check(n, d)
+    rng = _rng(seed)
+    points = np.empty((n, d))
+    for i in range(n):
+        while True:
+            raw = rng.normal(0.5, spread, size=d)
+            raw += (d / 2.0 - raw.sum()) / d
+            if np.all((raw >= 0.0) & (raw <= 1.0)):
+                points[i] = raw
+                break
+    return points
+
+
+def clustered(n: int, d: int, n_clusters: int = 5, seed: int | None = 0,
+              spread: float = 0.05) -> np.ndarray:
+    """Gaussian clusters around uniform centers, clipped to the cube.
+
+    Not in the paper; used by the extra robustness examples and tests
+    to probe skewed data.
+    """
+    _check(n, d)
+    if n_clusters < 1:
+        raise ValueError("need at least one cluster")
+    rng = _rng(seed)
+    centers = rng.random((n_clusters, d))
+    assignment = rng.integers(n_clusters, size=n)
+    points = centers[assignment] + rng.normal(0.0, spread, size=(n, d))
+    return np.clip(points, 0.0, 1.0)
+
+
+def minmax_normalize(points: np.ndarray) -> np.ndarray:
+    """Rescale every attribute to [0, 1] (constant columns map to 0).
+
+    Min-max normalization is rank-preserving per attribute and puts
+    attributes on the comparable scales the gamma-wedge partitioning
+    expects.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    lo = pts.min(axis=0)
+    span = pts.max(axis=0) - lo
+    span = np.where(span > 0, span, 1.0)
+    return (pts - lo) / span
+
+
+def _check(n: int, d: int) -> None:
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if d < 1:
+        raise ValueError("d must be positive")

@@ -1,0 +1,8 @@
+"""Order-statistic structures and dominance-factor counting."""
+
+from .avl import OrderStatisticAVL
+from .dominance import count_dominators
+from .fenwick import FenwickTree
+from .rtree import RTree
+
+__all__ = ["OrderStatisticAVL", "FenwickTree", "RTree", "count_dominators"]

@@ -1,0 +1,177 @@
+"""Order-statistic AVL tree (the paper's modified AVL, Section 5.2.1).
+
+The paper augments a classic AVL tree with a ``Left`` field per node —
+the number of records in the node's left subtree *including the node
+itself* — so that "how many stored values are <= q" is answered in
+``O(log n)``: whenever the traversal sits at a node whose key is <= the
+query value, the node's ``Left`` count is accumulated and the traversal
+moves right without visiting the left subtree.
+
+Keys are arbitrary comparable values; duplicates are allowed (each
+insert adds one record).  Only the operations the dominance-counting
+algorithms need are provided: ``insert`` and ``count_le`` /
+``count_lt``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["OrderStatisticAVL"]
+
+
+class _Node:
+    __slots__ = ("key", "count", "left", "right", "height", "size")
+
+    def __init__(self, key):
+        self.key = key
+        self.count = 1  # multiplicity of this key
+        self.left = None
+        self.right = None
+        self.height = 1
+        self.size = 1  # total records in this subtree
+
+    @property
+    def left_size(self) -> int:
+        """Paper's ``Left`` field: records in the left subtree plus
+        this node's own records."""
+        return self.count + _size(self.left)
+
+
+def _height(node) -> int:
+    return node.height if node is not None else 0
+
+
+def _size(node) -> int:
+    return node.size if node is not None else 0
+
+
+def _update(node) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+    node.size = node.count + _size(node.left) + _size(node.right)
+
+
+def _rotate_right(y):
+    x = y.left
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rotate_left(x):
+    y = x.right
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _balance(node):
+    _update(node)
+    bal = _height(node.left) - _height(node.right)
+    if bal > 1:
+        if _height(node.left.left) < _height(node.left.right):
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if bal < -1:
+        if _height(node.right.right) < _height(node.right.left):
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class OrderStatisticAVL:
+    """Self-balancing BST answering rank queries in ``O(log n)``.
+
+    Examples
+    --------
+    >>> tree = OrderStatisticAVL()
+    >>> for v in [5, 1, 4, 4, 9]:
+    ...     tree.insert(v)
+    >>> tree.count_le(4)
+    3
+    >>> tree.count_lt(4)
+    1
+    >>> len(tree)
+    5
+    """
+
+    def __init__(self, values=None):
+        self._root = None
+        self._n = 0
+        if values is not None:
+            for v in values:
+                self.insert(v)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def insert(self, key) -> None:
+        """Add one record with the given key (duplicates allowed)."""
+        self._root = self._insert(self._root, key)
+        self._n += 1
+
+    def _insert(self, node, key):
+        if node is None:
+            return _Node(key)
+        if key == node.key:
+            node.count += 1
+            _update(node)
+            return node
+        if key < node.key:
+            node.left = self._insert(node.left, key)
+        else:
+            node.right = self._insert(node.right, key)
+        return _balance(node)
+
+    def count_le(self, key) -> int:
+        """Number of stored records with value <= ``key``."""
+        total = 0
+        node = self._root
+        while node is not None:
+            if node.key <= key:
+                total += node.left_size
+                node = node.right
+            else:
+                node = node.left
+        return total
+
+    def count_lt(self, key) -> int:
+        """Number of stored records with value strictly < ``key``."""
+        total = 0
+        node = self._root
+        while node is not None:
+            if node.key < key:
+                total += node.left_size
+                node = node.right
+            else:
+                node = node.left
+        return total
+
+    def height(self) -> int:
+        """Tree height; an AVL tree keeps this O(log n)."""
+        return _height(self._root)
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if AVL balance or size counts are broken.
+
+        Used by the test suite after randomized insert sequences.
+        """
+        self._check(self._root)
+
+    def _check(self, node) -> int:
+        if node is None:
+            return 0
+        left_n = self._check(node.left)
+        right_n = self._check(node.right)
+        bal = _height(node.left) - _height(node.right)
+        assert -1 <= bal <= 1, f"unbalanced node {node.key}: balance {bal}"
+        expected_height = 1 + max(_height(node.left), _height(node.right))
+        assert node.height == expected_height, "stale height"
+        assert node.left_size == node.count + left_n, "stale left_size"
+        if node.left is not None:
+            assert node.left.key < node.key, "BST order violated (left)"
+        if node.right is not None:
+            assert node.right.key > node.key, "BST order violated (right)"
+        return left_n + node.count + right_n

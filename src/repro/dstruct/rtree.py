@@ -1,0 +1,182 @@
+"""R-tree substrate (STR bulk loading + best-first traversal).
+
+The paper's related-work Section 2 covers *spatial indexing* for
+ranked queries: store the points in an R-tree and prune subtrees whose
+bounding rectangles cannot contain a top-k result.  This module
+provides the data structure; :class:`repro.indexes.rtree.RTreeIndex`
+wraps it with the ranked-query logic.
+
+Bulk loading uses Sort-Tile-Recursive (Leutenegger et al.): sort by
+the first coordinate, cut into vertical slabs, recurse on the next
+coordinate inside each slab, producing square-ish leaves; upper levels
+are built by re-tiling the child rectangles' centers.
+
+For a monotone linear minimization query the *mindist* of a rectangle
+is simply the score of its lower corner — the pruning bound best-first
+search needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RTree", "RTreeNode"]
+
+
+@dataclass
+class RTreeNode:
+    """One R-tree node: a bounding box over children or tuple ids."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+    children: list = field(default_factory=list)   # internal nodes
+    tids: np.ndarray | None = None                 # leaf nodes
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.tids is not None
+
+    def mindist(self, weights: np.ndarray) -> float:
+        """Smallest possible score of any point in this box.
+
+        Exact for non-negative weights: the lower corner minimizes
+        every term simultaneously.
+        """
+        return float(weights @ self.lower)
+
+
+def _tile(centers: np.ndarray, ids: np.ndarray, group_size: int,
+          dim: int) -> list[np.ndarray]:
+    """STR tiling: split ``ids`` into groups of ~``group_size``."""
+    d = centers.shape[1]
+    if len(ids) <= group_size:
+        return [ids]
+    order = ids[np.argsort(centers[ids, dim], kind="stable")]
+    if dim == d - 1:
+        return [
+            order[i : i + group_size]
+            for i in range(0, len(order), group_size)
+        ]
+    n_groups = math.ceil(len(ids) / group_size)
+    slabs = math.ceil(n_groups ** (1.0 / (d - dim)))
+    # Slabs hold whole groups so only the final group overall can be
+    # underfull — this keeps the leaf count at ceil(n / group_size).
+    slab_size = math.ceil(n_groups / slabs) * group_size
+    groups: list[np.ndarray] = []
+    for i in range(0, len(order), slab_size):
+        groups.extend(
+            _tile(centers, order[i : i + slab_size], group_size, dim + 1)
+        )
+    return groups
+
+
+class RTree:
+    """A static R-tree over a point set.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` float matrix.
+    leaf_size:
+        Tuples per leaf (also the internal fan-out).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> tree = RTree(np.random.default_rng(0).random((100, 2)), leaf_size=8)
+    >>> tree.height >= 2
+    True
+    >>> len(tree.leaves()) == math.ceil(100 / 8)
+    True
+    """
+
+    def __init__(self, points: np.ndarray, leaf_size: int = 32):
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2:
+            raise ValueError("points must be a 2-D array")
+        if leaf_size < 2:
+            raise ValueError("leaf_size must be at least 2")
+        self._points = pts
+        self._leaf_size = leaf_size
+        self.root = self._bulk_load()
+
+    @property
+    def points(self) -> np.ndarray:
+        return self._points
+
+    def _bulk_load(self) -> RTreeNode:
+        n, d = self._points.shape
+        if n == 0:
+            zeros = np.zeros(max(d, 1))
+            return RTreeNode(zeros, zeros, tids=np.zeros(0, dtype=np.intp))
+        groups = _tile(
+            self._points, np.arange(n), self._leaf_size, 0
+        )
+        level: list[RTreeNode] = [
+            RTreeNode(
+                self._points[g].min(axis=0),
+                self._points[g].max(axis=0),
+                tids=np.asarray(g, dtype=np.intp),
+            )
+            for g in groups
+        ]
+        while len(level) > 1:
+            centers = np.stack([(n.lower + n.upper) / 2 for n in level])
+            groups = _tile(
+                centers, np.arange(len(level)), self._leaf_size, 0
+            )
+            level = [
+                RTreeNode(
+                    np.min([level[i].lower for i in g], axis=0),
+                    np.max([level[i].upper for i in g], axis=0),
+                    children=[level[i] for i in g],
+                )
+                for g in groups
+            ]
+        return level[0]
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaves inclusive."""
+        h, node = 1, self.root
+        while not node.is_leaf:
+            h += 1
+            node = node.children[0]
+        return h
+
+    def leaves(self) -> list[RTreeNode]:
+        out: list[RTreeNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def check_invariants(self) -> None:
+        """Every child box inside its parent; every tuple in its leaf box."""
+        n = self._points.shape[0]
+        seen: list[int] = []
+
+        def visit(node: RTreeNode) -> None:
+            if node.is_leaf:
+                for tid in node.tids:
+                    p = self._points[tid]
+                    assert np.all(p >= node.lower - 1e-12)
+                    assert np.all(p <= node.upper + 1e-12)
+                    seen.append(int(tid))
+                return
+            assert node.children, "internal node without children"
+            for child in node.children:
+                assert np.all(child.lower >= node.lower - 1e-12)
+                assert np.all(child.upper <= node.upper + 1e-12)
+                visit(child)
+
+        visit(self.root)
+        if n:
+            assert sorted(seen) == list(range(n)), "tuples lost or duplicated"

@@ -1,0 +1,24 @@
+"""Mini relational engine: relations, paged storage, SQL, execution."""
+
+from .catalog import Catalog
+from .executor import ExecutionResult, TopKExecutor, materialize_layers
+from .relation import Relation
+from .schema import Attribute, Schema
+from .sql import ParsedQuery, SqlError, parse
+from .stats import AccessStats
+from .storage import BlockStore
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Relation",
+    "BlockStore",
+    "AccessStats",
+    "Catalog",
+    "TopKExecutor",
+    "ExecutionResult",
+    "materialize_layers",
+    "parse",
+    "ParsedQuery",
+    "SqlError",
+]

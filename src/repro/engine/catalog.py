@@ -1,0 +1,79 @@
+"""Catalog: named tables and their attached ranked indexes."""
+
+from __future__ import annotations
+
+from ..indexes.base import RankedIndex
+from .relation import Relation
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Registry mapping table names to relations and index sets.
+
+    Examples
+    --------
+    >>> cat = Catalog()
+    >>> rel = Relation.from_matrix("t", ["a", "b"], [[1.0, 2.0]])
+    >>> cat.create_table(rel)
+    >>> cat.table("t").n_rows
+    1
+    """
+
+    def __init__(self):
+        self._tables: dict[str, Relation] = {}
+        self._indexes: dict[str, dict[str, RankedIndex]] = {}
+
+    def create_table(self, relation: Relation) -> None:
+        if relation.name in self._tables:
+            raise ValueError(f"table {relation.name!r} already exists")
+        self._tables[relation.name] = relation
+        self._indexes[relation.name] = {}
+
+    def replace_table(self, relation: Relation) -> None:
+        """Swap a table's contents (e.g. after materializing a layer
+        column); attached indexes are kept."""
+        if relation.name not in self._tables:
+            raise KeyError(f"no table {relation.name!r}")
+        self._tables[relation.name] = relation
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise KeyError(f"no table {name!r}")
+        del self._tables[name]
+        del self._indexes[name]
+
+    def table(self, name: str) -> Relation:
+        if name not in self._tables:
+            raise KeyError(f"no table {name!r}; known: {sorted(self._tables)}")
+        return self._tables[name]
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def attach_index(self, table_name: str, index_name: str,
+                     index: RankedIndex) -> None:
+        if table_name not in self._tables:
+            raise KeyError(f"no table {table_name!r}")
+        if index.size != self._tables[table_name].n_rows:
+            raise ValueError(
+                f"index covers {index.size} tuples; table has "
+                f"{self._tables[table_name].n_rows} rows"
+            )
+        self._indexes[table_name][index_name] = index
+
+    def index(self, table_name: str, index_name: str) -> RankedIndex:
+        indexes = self._indexes.get(table_name)
+        if indexes is None:
+            raise KeyError(f"no table {table_name!r}")
+        if index_name not in indexes:
+            raise KeyError(
+                f"no index {index_name!r} on {table_name!r}; "
+                f"known: {sorted(indexes)}"
+            )
+        return indexes[index_name]
+
+    def indexes_on(self, table_name: str) -> dict[str, RankedIndex]:
+        if table_name not in self._indexes:
+            raise KeyError(f"no table {table_name!r}")
+        return dict(self._indexes[table_name])

@@ -1,0 +1,234 @@
+"""Top-k query execution over the catalog.
+
+Three physical plans, mirroring the paper's deployment story:
+
+``index``
+    Route to an attached :class:`~repro.indexes.base.RankedIndex`
+    (``USING INDEX name``).
+``layer-prefix``
+    The paper's SQL integration: the relation carries a materialized
+    ``layer`` column and is stored sequentially in layer order; the
+    executor reads the prefix with ``layer <= c`` and ranks it.
+``scan``
+    Full sequential scan (also the fallback for non-monotone
+    ``ORDER BY`` expressions, which layered monotone indexes cannot
+    serve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..queries.ranking import LinearQuery
+from .catalog import Catalog
+from .relation import Relation
+from .schema import Attribute
+from .sql import ParsedQuery, parse
+from .storage import BlockStore
+
+__all__ = ["ExecutionResult", "TopKExecutor", "materialize_layers"]
+
+#: Name of the materialized layer column.
+LAYER_COLUMN = "layer"
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Answer plus the cost accounting the experiments report."""
+
+    tids: np.ndarray
+    rows: Relation
+    retrieved: int
+    blocks_read: int
+    plan: str
+    extra: dict = field(default_factory=dict)
+
+
+def materialize_layers(
+    catalog: Catalog, table_name: str, layers, block_size: int = 64
+) -> BlockStore:
+    """Attach a layer column to a table and store it in layer order.
+
+    Returns the resulting :class:`BlockStore`; the catalog's table is
+    replaced by the extended relation (same name).
+    """
+    relation = catalog.table(table_name)
+    layers = np.asarray(layers, dtype=np.int64)
+    if layers.shape != (relation.n_rows,):
+        raise ValueError("layers must assign one value per row")
+    if LAYER_COLUMN in relation.schema:
+        raise ValueError(f"table {table_name!r} already has a layer column")
+    extended = relation.with_column(Attribute(LAYER_COLUMN, "int"), layers)
+    catalog.replace_table(extended)
+    order = np.lexsort((np.arange(layers.size), layers))
+    return BlockStore(extended, storage_order=order, block_size=block_size)
+
+
+class TopKExecutor:
+    """Executes parsed (or textual) ranked top-k statements."""
+
+    def __init__(self, catalog: Catalog, block_size: int = 64):
+        self._catalog = catalog
+        self._block_size = block_size
+        self._stores: dict[str, BlockStore] = {}
+        self._planner = None
+
+    def register_store(self, table_name: str, store: BlockStore) -> None:
+        """Associate a sequential store (e.g. layer-ordered) with a table."""
+        self._stores[table_name] = store
+
+    @property
+    def planner(self):
+        """Lazily constructed cost-based planner over this catalog."""
+        if self._planner is None:
+            from .planner import CostBasedPlanner
+
+            self._planner = CostBasedPlanner(
+                self._catalog, block_size=self._block_size
+            )
+        return self._planner
+
+    def explain(self, statement: str | ParsedQuery) -> str:
+        """Rank the physical plans for a statement without executing."""
+        query = parse(statement) if isinstance(statement, str) else statement
+        return self.planner.explain(query.table, query.k)
+
+    def execute_auto(self, statement: str | ParsedQuery) -> ExecutionResult:
+        """Execute with cost-based plan selection.
+
+        Explicit ``USING INDEX`` hints and ``layer <=`` predicates are
+        honoured as written; otherwise the planner picks the cheapest
+        of scan / layer-prefix / attached robust index.  Non-monotone
+        ORDER BY always scans (layered plans cannot serve it).
+        """
+        query = parse(statement) if isinstance(statement, str) else statement
+        if query.explain:
+            return self._explain_result(query)
+        if query.index_hint is not None or query.layer_bound is not None:
+            return self.execute(query)
+        weights = np.array(list(query.order_by.values()))
+        if np.any(weights < 0):
+            return self.execute(query)
+        chosen = self.planner.choose(query.table, query.k)
+        if chosen.kind == "layer-prefix":
+            query = ParsedQuery(
+                k=query.k,
+                table=query.table,
+                order_by=query.order_by,
+                layer_bound=query.k,
+            )
+        elif chosen.kind == "index":
+            query = ParsedQuery(
+                k=query.k,
+                table=query.table,
+                order_by=query.order_by,
+                index_hint=chosen.index_name,
+            )
+        return self.execute(query)
+
+    def _explain_result(self, query: ParsedQuery) -> ExecutionResult:
+        relation = self._catalog.table(query.table)
+        text = self.planner.explain(query.table, query.k)
+        return ExecutionResult(
+            tids=np.zeros(0, dtype=np.intp),
+            rows=relation.take(np.zeros(0, dtype=np.intp)),
+            retrieved=0,
+            blocks_read=0,
+            plan="explain",
+            extra={"text": text},
+        )
+
+    def execute(self, statement: str | ParsedQuery) -> ExecutionResult:
+        query = parse(statement) if isinstance(statement, str) else statement
+        if query.explain:
+            return self._explain_result(query)
+        relation = self._catalog.table(query.table)
+
+        ranked_attrs = list(query.order_by)
+        for attr in ranked_attrs:
+            if attr not in relation.schema:
+                raise KeyError(
+                    f"ORDER BY references unknown attribute {attr!r} "
+                    f"on table {query.table!r}"
+                )
+        weights = np.array([query.order_by[a] for a in ranked_attrs])
+        monotone = bool(np.all(weights >= 0))
+        linear = LinearQuery(weights, require_monotone=False)
+        data = relation.matrix(ranked_attrs)
+
+        if query.index_hint is not None:
+            if not monotone:
+                raise ValueError(
+                    "monotone layered indexes cannot serve negative weights; "
+                    "drop the USING INDEX hint to fall back to a scan"
+                )
+            return self._execute_with_index(query, relation, linear)
+        if query.layer_bound is not None:
+            return self._execute_layer_prefix(query, relation, linear, data)
+        return self._execute_scan(query, relation, linear, data)
+
+    def _execute_with_index(self, query, relation, linear) -> ExecutionResult:
+        index = self._catalog.index(query.table, query.index_hint)
+        # Indexes cover the table's float attributes in schema order;
+        # attributes the statement does not rank get weight zero.
+        indexed = [a.name for a in relation.schema if a.kind == "float"]
+        unknown = [a for a in query.order_by if a not in indexed]
+        if unknown:
+            raise ValueError(
+                f"index {query.index_hint!r} does not cover {unknown}"
+            )
+        full = np.array([query.order_by.get(name, 0.0) for name in indexed])
+        linear = LinearQuery(full)
+        result = index.query(linear, query.k)
+        blocks = -(-result.retrieved // self._block_size) if result.retrieved else 0
+        return ExecutionResult(
+            tids=result.tids,
+            rows=relation.take(result.tids),
+            retrieved=result.retrieved,
+            blocks_read=blocks,
+            plan=f"index({query.index_hint})",
+            extra={"layers_scanned": result.layers_scanned},
+        )
+
+    def _execute_layer_prefix(self, query, relation, linear, data) -> ExecutionResult:
+        if LAYER_COLUMN not in relation.schema:
+            raise KeyError(
+                f"table {query.table!r} has no materialized {LAYER_COLUMN!r} "
+                "column; call materialize_layers first"
+            )
+        store = self._stores.get(query.table)
+        layers = relation.column(LAYER_COLUMN)
+        candidates = np.flatnonzero(layers <= query.layer_bound)
+        retrieved = int(candidates.size)
+        if store is not None:
+            # Sequential prefix read: layer-ordered storage makes the
+            # qualifying tuples exactly the first |candidates| ones.
+            prefix = store.read_prefix(retrieved)
+            candidates = np.sort(prefix)
+            blocks = store.blocks_for_prefix(retrieved)
+        else:
+            blocks = -(-retrieved // self._block_size) if retrieved else 0
+        scores = linear.scores(data[candidates]) if retrieved else np.zeros(0)
+        order = np.lexsort((candidates, scores))
+        tids = candidates[order[: query.k]]
+        return ExecutionResult(
+            tids=tids,
+            rows=relation.take(tids),
+            retrieved=retrieved,
+            blocks_read=blocks,
+            plan=f"layer-prefix(<= {query.layer_bound})",
+        )
+
+    def _execute_scan(self, query, relation, linear, data) -> ExecutionResult:
+        n = relation.n_rows
+        tids = linear.top_k(data, query.k)
+        blocks = -(-n // self._block_size) if n else 0
+        return ExecutionResult(
+            tids=tids,
+            rows=relation.take(tids),
+            retrieved=n,
+            blocks_read=blocks,
+            plan="scan",
+        )

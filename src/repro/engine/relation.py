@@ -1,0 +1,115 @@
+"""Column-major relations.
+
+A :class:`Relation` stores one NumPy array per attribute plus an
+implicit tid (the row position).  Layered indexes materialize their
+layer assignment as an ordinary integer column, which is exactly how
+the paper proposes shipping the robust index inside an off-the-shelf
+RDBMS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .schema import Attribute, Schema
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """An immutable-shape, column-major table.
+
+    Examples
+    --------
+    >>> rel = Relation.from_matrix("houses", ["price", "distance"],
+    ...                            [[1.0, 2.0], [3.0, 0.5]])
+    >>> rel.n_rows
+    2
+    >>> rel.column("price").tolist()
+    [1.0, 3.0]
+    """
+
+    def __init__(self, name: str, schema: Schema, columns: dict[str, np.ndarray]):
+        if not name or not name.isidentifier():
+            raise ValueError(f"relation name {name!r} must be an identifier")
+        missing = [n for n in schema.names if n not in columns]
+        if missing:
+            raise ValueError(f"columns missing for attributes {missing}")
+        lengths = {n: len(columns[n]) for n in schema.names}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"ragged columns: {lengths}")
+        self._name = name
+        self._schema = schema
+        self._columns = {
+            a.name: np.asarray(columns[a.name], dtype=a.dtype) for a in schema
+        }
+        self._n_rows = next(iter(lengths.values())) if lengths else 0
+
+    @classmethod
+    def from_matrix(cls, name: str, attribute_names, matrix) -> "Relation":
+        """Build an all-float relation from a (n, d) matrix."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be two-dimensional")
+        names = list(attribute_names)
+        if matrix.shape[1] != len(names):
+            raise ValueError(
+                f"matrix has {matrix.shape[1]} columns for {len(names)} names"
+            )
+        schema = Schema.of_floats(*names)
+        columns = {n: matrix[:, i] for i, n in enumerate(names)}
+        return cls(name, schema, columns)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def column(self, name: str) -> np.ndarray:
+        """Read-only view of one column."""
+        col = self._columns[self._schema.attribute(name).name].view()
+        col.flags.writeable = False
+        return col
+
+    def matrix(self, attribute_names=None) -> np.ndarray:
+        """Float (n, d) matrix over the named (default: all) attributes."""
+        names = list(attribute_names) if attribute_names else list(self._schema.names)
+        return np.stack(
+            [self._columns[self._schema.attribute(n).name].astype(float)
+             for n in names],
+            axis=1,
+        )
+
+    def row(self, tid: int) -> dict:
+        """One row as an attribute -> value mapping."""
+        if not 0 <= tid < self._n_rows:
+            raise IndexError(f"tid {tid} out of range [0, {self._n_rows})")
+        return {n: self._columns[n][tid] for n in self._schema.names}
+
+    def with_column(self, attribute: Attribute, values) -> "Relation":
+        """A new relation extending this one by a column (e.g. layer)."""
+        values = np.asarray(values)
+        if len(values) != self._n_rows:
+            raise ValueError(
+                f"column has {len(values)} values for {self._n_rows} rows"
+            )
+        schema = self._schema.extended(attribute)
+        columns = dict(self._columns)
+        columns[attribute.name] = values
+        return Relation(self._name, schema, columns)
+
+    def take(self, tids) -> "Relation":
+        """A new relation containing only the given rows, in order."""
+        tids = np.asarray(tids, dtype=np.intp)
+        columns = {n: self._columns[n][tids] for n in self._schema.names}
+        return Relation(self._name, self._schema, columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self._name!r}, {self._schema!r}, n={self._n_rows})"

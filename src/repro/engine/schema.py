@@ -1,0 +1,102 @@
+"""Relation schemas.
+
+A schema is an ordered list of named, typed attributes.  Only the
+numeric types ranked queries score over are supported, plus integers
+for materialized layer columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Attribute", "Schema"]
+
+_SUPPORTED = {"float": np.float64, "int": np.int64}
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One named column.  ``kind`` is ``'float'`` or ``'int'``."""
+
+    name: str
+    kind: str = "float"
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise ValueError(f"attribute name {self.name!r} must be an identifier")
+        if self.kind not in _SUPPORTED:
+            raise ValueError(
+                f"unsupported kind {self.kind!r}; expected one of {sorted(_SUPPORTED)}"
+            )
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(_SUPPORTED[self.kind])
+
+
+class Schema:
+    """Ordered attribute list with name lookup.
+
+    Examples
+    --------
+    >>> s = Schema([Attribute("price"), Attribute("distance")])
+    >>> s.names
+    ('price', 'distance')
+    >>> s.index_of("distance")
+    1
+    """
+
+    def __init__(self, attributes):
+        attrs = tuple(attributes)
+        if not attrs:
+            raise ValueError("a schema needs at least one attribute")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in {names}")
+        self._attributes = attrs
+        self._positions = {a.name: i for i, a in enumerate(attrs)}
+
+    @classmethod
+    def of_floats(cls, *names: str) -> "Schema":
+        """Convenience constructor: all-float schema from names."""
+        return cls([Attribute(n) for n in names])
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._positions
+
+    def __iter__(self):
+        return iter(self._attributes)
+
+    def index_of(self, name: str) -> int:
+        if name not in self._positions:
+            raise KeyError(f"no attribute {name!r}; schema has {self.names}")
+        return self._positions[name]
+
+    def attribute(self, name: str) -> Attribute:
+        return self._attributes[self.index_of(name)]
+
+    def extended(self, attribute: Attribute) -> "Schema":
+        """A new schema with one attribute appended."""
+        return Schema(self._attributes + (attribute,))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{a.name}:{a.kind}" for a in self._attributes)
+        return f"Schema({inner})"

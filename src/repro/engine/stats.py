@@ -1,0 +1,36 @@
+"""Access accounting for the storage layer.
+
+The paper evaluates indexes by how many tuples a query retrieves from
+the sequentially stored database; the storage substrate additionally
+tracks block (page) reads so the I/O benefit of sequential layered
+access is visible in experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AccessStats"]
+
+
+@dataclass
+class AccessStats:
+    """Mutable counters a scan updates as it touches storage."""
+
+    tuples_read: int = 0
+    blocks_read: int = 0
+    scans_started: int = 0
+
+    def reset(self) -> None:
+        self.tuples_read = 0
+        self.blocks_read = 0
+        self.scans_started = 0
+
+    def merge(self, other: "AccessStats") -> None:
+        """Accumulate another counter set into this one."""
+        self.tuples_read += other.tuples_read
+        self.blocks_read += other.blocks_read
+        self.scans_started += other.scans_started
+
+    def snapshot(self) -> "AccessStats":
+        return AccessStats(self.tuples_read, self.blocks_read, self.scans_started)

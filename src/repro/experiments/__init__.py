@@ -1,0 +1,44 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from .figures import (
+    fig6_fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    table1,
+)
+from .harness import (
+    INDEX_BUILDERS,
+    BuildRecord,
+    RetrievalStats,
+    build_index,
+    full_scale,
+    measure_retrieval,
+    scaled,
+)
+from .report import render_series, render_table
+
+__all__ = [
+    "table1",
+    "fig6_fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "INDEX_BUILDERS",
+    "BuildRecord",
+    "RetrievalStats",
+    "build_index",
+    "measure_retrieval",
+    "full_scale",
+    "scaled",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,109 @@
+"""Terminal line charts for experiment series.
+
+The benchmark environment has no plotting stack, so figures are
+rendered as Unicode scatter/line charts: one glyph per series, a
+left-side value axis, x ticks underneath.  Good enough to *see* the
+crossovers the paper's figures show, directly in CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["ascii_chart"]
+
+#: Series glyphs, assigned in order.
+_GLYPHS = "ox+*#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+) -> str:
+    """Render one or more y-series over shared x values.
+
+    Examples
+    --------
+    >>> chart = ascii_chart([1, 2, 3], {"a": [1, 2, 3]}, width=20, height=5)
+    >>> "a" in chart and "o" in chart
+    True
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    xs = [float(x) for x in xs]
+    if len(xs) < 1:
+        raise ValueError("need at least one x value")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length != x length")
+    if len(series) > len(_GLYPHS):
+        raise ValueError(f"at most {len(_GLYPHS)} series supported")
+
+    all_y = [float(y) for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    def col(x: float) -> int:
+        return round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def row(y: float) -> int:
+        return (height - 1) - round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, ys) in zip(_GLYPHS, series.items()):
+        points = sorted(zip(xs, ys))
+        # Linear interpolation between consecutive points so the lines
+        # read as lines, not sparse dots.
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            c0, c1 = col(x0), col(x1)
+            for c in range(c0, c1 + 1):
+                frac = 0.0 if c1 == c0 else (c - c0) / (c1 - c0)
+                y = y0 + frac * (y1 - y0)
+                grid[row(y)][c] = glyph
+        for x, y in points:
+            grid[row(y)][col(x)] = glyph
+
+    label_hi = _format_tick(y_hi)
+    label_lo = _format_tick(y_lo)
+    margin = max(len(label_hi), len(label_lo)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    for r in range(height):
+        if r == 0:
+            label = label_hi.rjust(margin)
+        elif r == height - 1:
+            label = label_lo.rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label}|" + "".join(grid[r]))
+    x_axis = " " * margin + "+" + "-" * width
+    lines.append(x_axis)
+    left = _format_tick(x_lo)
+    right = _format_tick(x_hi)
+    pad = width - len(left) - len(right)
+    lines.append(
+        " " * (margin + 1) + left + " " * max(pad, 1) + right
+    )
+    if x_label:
+        lines.append(" " * (margin + 1) + x_label)
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(_GLYPHS, series)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)

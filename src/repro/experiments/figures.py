@@ -1,0 +1,269 @@
+"""One function per paper table/figure (see DESIGN.md experiment index).
+
+Every function returns a plain dict with the series the paper plots
+plus a ``text`` rendering; the ``benchmarks/`` files call these and
+print the text, so ``pytest benchmarks/ --benchmark-only`` regenerates
+the paper's evaluation section.
+
+Sizes honour ``REPRO_FULL`` (paper scale) vs the reduced defaults; all
+data sets are min-max normalized before indexing so every method sees
+identical, comparably-scaled attributes (a monotone per-attribute
+transform; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.appri import appri_layers
+from ..data import abalone3d, correlated, cover3d, minmax_normalize, uniform
+from ..queries.workload import grid_weight_workload
+from .asciiplot import ascii_chart
+from .harness import build_index, full_scale, measure_retrieval, scaled
+from .report import render_series, render_table
+
+__all__ = [
+    "table1",
+    "fig6_fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "default_topk_grid",
+]
+
+#: Queries per configuration, as in the paper ("we issue 10 queries by
+#: randomly choosing the weights ... from {1, 2, 3, 4}").
+N_QUERIES = 10
+
+
+def _series_text(title: str, x_label, xs, series) -> str:
+    """Numeric table plus an ASCII chart of the same series."""
+    table = render_series(title, x_label, xs, series)
+    try:
+        chart = ascii_chart(xs, series, title="", x_label=str(x_label))
+    except (TypeError, ValueError):
+        return table
+    return f"{table}\n\n{chart}"
+
+
+def default_topk_grid() -> list[int]:
+    """The top-k sweep the paper's query-performance figures use."""
+    return [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+
+
+def _workload(d: int = 3, seed: int = 42):
+    return grid_weight_workload(d, N_QUERIES, seed=seed)
+
+
+def _avg_series(
+    data: np.ndarray,
+    method_names: list[str],
+    ks: list[int],
+    seed: int = 42,
+    **build_kwargs,
+) -> dict[str, list[float]]:
+    """Average retrieval per method per k on one data set."""
+    queries = _workload(data.shape[1], seed=seed)
+    series: dict[str, list[float]] = {}
+    for name in method_names:
+        index, _ = build_index(name, data, **build_kwargs)
+        series[name] = [
+            measure_retrieval(index, queries, k).avg for k in ks
+        ]
+    return series
+
+
+def table1(seed: int = 42, n: int | None = None) -> dict:
+    """Table 1: min/max/avg tuples retrieved, top-50, real + synthetic.
+
+    "Real" is the cover3d surrogate fragment; "Onion" follows the
+    table's footnote and uses the convex-shell variant.
+    """
+    n = n if n is not None else scaled(10_000, 2_000)
+    k = 50
+    datasets = {
+        "Real (cover3d)": minmax_normalize(cover3d()[:n]),
+        "Synthetic (uniform)": minmax_normalize(uniform(n, 3, seed=3)),
+    }
+    methods = ["PREFER", "Shell", "AppRI"]
+    labels = {"PREFER": "PREFER", "Shell": "Onion", "AppRI": "Robust"}
+    rows = []
+    results: dict[str, dict[str, tuple[int, int, float]]] = {}
+    for ds_name, data in datasets.items():
+        queries = _workload(seed=seed)
+        results[ds_name] = {}
+        for method in methods:
+            index, _ = build_index(method, data)
+            stats = measure_retrieval(index, queries, k)
+            results[ds_name][labels[method]] = (stats.min, stats.max, stats.avg)
+    for method in methods:
+        label = labels[method]
+        row = [label]
+        for ds_name in datasets:
+            mn, mx, avg = results[ds_name][label]
+            row.extend([mn, mx, avg])
+        rows.append(row)
+    headers = ["Method", "Real Min", "Real Max", "Real Avg",
+               "Syn Min", "Syn Max", "Syn Avg"]
+    text = "Table 1: tuples retrieved for top-50 queries\n" + render_table(
+        headers, rows
+    )
+    return {"n": n, "k": k, "results": results, "text": text}
+
+
+def fig6_fig7(seed: int = 42, n: int | None = None, bs=None) -> dict:
+    """Figures 6-7: top-50 layer mass and build time vs partitions B."""
+    n = n if n is not None else scaled(10_000, 2_000)
+    k = 50
+    data = minmax_normalize(uniform(n, 3, seed=7))
+    bs = list(bs) if bs is not None else [2, 4, 6, 8, 10, 14, 20]
+    tuples_in_topk: list[int] = []
+    build_seconds: list[float] = []
+    for b in bs:
+        started = time.perf_counter()
+        layers = appri_layers(data, n_partitions=b)
+        build_seconds.append(time.perf_counter() - started)
+        tuples_in_topk.append(int(np.count_nonzero(layers <= k)))
+    text = _series_text(
+        f"Figure 6/7: AppRI vs partition count B (n={n})",
+        "B",
+        bs,
+        {"tuples_in_top50_layers": tuples_in_topk,
+         "build_seconds": [round(s, 2) for s in build_seconds]},
+    )
+    return {"n": n, "bs": bs, "tuples": tuples_in_topk,
+            "seconds": build_seconds, "text": text}
+
+
+def fig8(seed: int = 42, sizes=None) -> dict:
+    """Figure 8: construction time vs data size (Hull, Shell, AppRI)."""
+    if sizes is None:
+        sizes = (
+            [10_000, 20_000, 30_000, 40_000, 50_000]
+            if full_scale()
+            else [500, 1_000, 1_500, 2_000, 2_500]
+        )
+    sizes = list(sizes)
+    methods = ["Onion", "Shell", "AppRI"]
+    series = {m: [] for m in methods}
+    for n in sizes:
+        data = minmax_normalize(uniform(n, 3, seed=8))
+        for m in methods:
+            _, record = build_index(m, data)
+            series[m].append(round(record.seconds, 3))
+    text = _series_text(
+        "Figure 8: construction seconds vs data size", "n", sizes, series
+    )
+    return {"sizes": sizes, "series": series, "text": text}
+
+
+def fig9(seed: int = 42, n: int | None = None, ks=None) -> dict:
+    """Figure 9: avg tuples retrieved vs top-k, uniform data."""
+    n = n if n is not None else scaled(10_000, 2_000)
+    data = minmax_normalize(uniform(n, 3, seed=9))
+    ks = list(ks) if ks is not None else default_topk_grid()
+    series = _avg_series(data, ["PREFER", "Onion", "Shell", "AppRI"], ks,
+                         seed=seed)
+    text = _series_text(
+        f"Figure 9: avg tuples retrieved vs top-k (uniform, n={n})",
+        "k", ks, series,
+    )
+    return {"n": n, "ks": ks, "series": series, "text": text}
+
+
+def fig10(seed: int = 42, n: int | None = None, cs=None) -> dict:
+    """Figure 10: avg tuples retrieved (top-50) vs data correlation."""
+    n = n if n is not None else scaled(10_000, 2_000)
+    k = 50
+    cs = list(cs) if cs is not None else [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+    methods = ["PREFER", "Onion", "Shell", "AppRI"]
+    series = {m: [] for m in methods}
+    for c in cs:
+        data = minmax_normalize(correlated(n, 3, c, seed=10))
+        queries = _workload(seed=seed)
+        for m in methods:
+            index, _ = build_index(m, data)
+            series[m].append(measure_retrieval(index, queries, k).avg)
+    text = _series_text(
+        f"Figure 10: avg tuples retrieved for top-50 vs correlation (n={n})",
+        "c", cs, series,
+    )
+    return {"n": n, "cs": cs, "series": series, "text": text}
+
+
+def fig11(seed: int = 42, sizes=None) -> dict:
+    """Figure 11: avg tuples retrieved (top-50) vs data size, c=0.5."""
+    if sizes is None:
+        sizes = (
+            [10_000, 20_000, 30_000, 40_000, 50_000]
+            if full_scale()
+            else [500, 1_000, 1_500, 2_000, 2_500]
+        )
+    sizes = list(sizes)
+    k = 50
+    methods = ["PREFER", "Shell", "AppRI"]
+    series = {m: [] for m in methods}
+    for n in sizes:
+        data = minmax_normalize(correlated(n, 3, 0.5, seed=11))
+        queries = _workload(seed=seed)
+        for m in methods:
+            index, _ = build_index(m, data)
+            series[m].append(measure_retrieval(index, queries, k).avg)
+    text = _series_text(
+        "Figure 11: avg tuples retrieved for top-50 vs data size (c=0.5)",
+        "n", sizes, series,
+    )
+    return {"sizes": sizes, "series": series, "text": text}
+
+
+def _real_figure(data: np.ndarray, title: str, seed: int, ks=None) -> dict:
+    ks = list(ks) if ks is not None else default_topk_grid()
+    series = _avg_series(data, ["Shell", "PREFER", "AppRI"], ks, seed=seed)
+    text = _series_text(title, "k", ks, series)
+    return {"n": data.shape[0], "ks": ks, "series": series, "text": text}
+
+
+def fig12(seed: int = 42, n: int | None = None, ks=None) -> dict:
+    """Figure 12: avg tuples retrieved vs top-k, abalone3d surrogate."""
+    n = n if n is not None else scaled(4_177, 2_000)
+    data = minmax_normalize(abalone3d()[:n])
+    return _real_figure(
+        data, f"Figure 12: abalone3d surrogate (n={n})", seed, ks=ks
+    )
+
+
+def fig13(seed: int = 42, n: int | None = None, ks=None) -> dict:
+    """Figure 13: avg tuples retrieved vs top-k, cover3d surrogate."""
+    n = n if n is not None else scaled(10_000, 2_000)
+    data = minmax_normalize(cover3d()[:n])
+    return _real_figure(
+        data, f"Figure 13: cover3d surrogate (n={n})", seed, ks=ks
+    )
+
+
+def fig14(seed: int = 42, n: int | None = None, ks=None) -> dict:
+    """Figure 14: one view vs three views, PREFER and AppRI."""
+    n = n if n is not None else scaled(10_000, 2_000)
+    data = minmax_normalize(cover3d()[:n])
+    ks = list(ks) if ks is not None else default_topk_grid()
+    queries = _workload(seed=seed)
+    series: dict[str, list[float]] = {}
+    for label, name, kwargs in [
+        ("PREFER (1 view)", "PREFER", {}),
+        ("PREFER (3 views)", "PREFER-mv", {"n_views": 3}),
+        ("AppRI (1 view)", "AppRI", {}),
+        ("AppRI (3 views)", "AppRI-mv", {}),
+    ]:
+        index, _ = build_index(name, data, **kwargs)
+        series[label] = [measure_retrieval(index, queries, k).avg for k in ks]
+    text = _series_text(
+        f"Figure 14: multi-view query performance (cover3d surrogate, n={n})",
+        "k", ks, series,
+    )
+    return {"n": n, "ks": ks, "series": series, "text": text}

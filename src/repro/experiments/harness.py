@@ -1,0 +1,157 @@
+"""Experiment harness: build indexes, replay workloads, collect stats.
+
+Every experiment in the paper reports, for a set of indexes and a
+query workload, the min / max / average number of tuples retrieved
+(and for Figure 7/8, build times).  The harness reduces each table and
+figure to one declarative call.
+
+Experiment scale is controlled by the ``REPRO_FULL`` environment
+variable: unset, sizes are shrunk so the whole benchmark suite runs in
+minutes on one core; set to ``1``, the paper's original sizes are used
+(see DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..indexes.base import RankedIndex
+from ..indexes.linear_scan import LinearScanIndex
+from ..indexes.multiview import PreferMultiView, RobustMultiView
+from ..indexes.onion import OnionIndex, ShellIndex
+from ..indexes.prefer import PreferIndex
+from ..indexes.robust import RobustIndex
+from ..indexes.rtree import RTreeIndex
+from ..indexes.threshold import ThresholdIndex
+from ..queries.ranking import LinearQuery
+
+__all__ = [
+    "RetrievalStats",
+    "BuildRecord",
+    "measure_retrieval",
+    "build_index",
+    "INDEX_BUILDERS",
+    "full_scale",
+    "scaled",
+]
+
+
+def full_scale() -> bool:
+    """True when paper-scale experiment sizes were requested."""
+    return os.environ.get("REPRO_FULL", "").strip() in {"1", "true", "yes"}
+
+
+def scaled(full_value: int, reduced_value: int) -> int:
+    """Pick the paper's size or the laptop-scale default."""
+    return full_value if full_scale() else reduced_value
+
+
+@dataclass(frozen=True)
+class RetrievalStats:
+    """min / max / avg tuples retrieved over a workload."""
+
+    index_name: str
+    k: int
+    per_query: tuple[int, ...]
+    correct: bool
+
+    @property
+    def min(self) -> int:
+        return min(self.per_query)
+
+    @property
+    def max(self) -> int:
+        return max(self.per_query)
+
+    @property
+    def avg(self) -> float:
+        return sum(self.per_query) / len(self.per_query)
+
+
+@dataclass(frozen=True)
+class BuildRecord:
+    """One timed index construction."""
+
+    index_name: str
+    n: int
+    seconds: float
+    info: dict = field(default_factory=dict)
+
+
+def measure_retrieval(
+    index: RankedIndex,
+    queries: Sequence[LinearQuery],
+    k: int,
+    reference: RankedIndex | None = None,
+) -> RetrievalStats:
+    """Run a workload through one index and record retrieval costs.
+
+    When ``reference`` is given (default: a fresh full scan), every
+    answer is verified against it; a mismatch flips ``correct`` so
+    experiments never silently report costs for wrong answers.
+    """
+    if not queries:
+        raise ValueError("the workload must contain at least one query")
+    if reference is None:
+        reference = LinearScanIndex(index.points)
+    costs = []
+    correct = True
+    for query in queries:
+        result = index.query(query, k)
+        expected = reference.query(query, k)
+        if list(result.tids) != list(expected.tids):
+            correct = False
+        costs.append(int(result.retrieved))
+    return RetrievalStats(index.name, k, tuple(costs), correct)
+
+
+def _appri_plus(data, n_partitions: int = 10) -> RobustIndex:
+    index = RobustIndex(
+        data, n_partitions=n_partitions, systems="families", refine="peel"
+    )
+    index.name = "AppRI+"
+    return index
+
+
+#: name -> builder(data, **kwargs); the names match the paper's plots.
+INDEX_BUILDERS: dict[str, Callable[..., RankedIndex]] = {
+    "AppRI": lambda data, **kw: RobustIndex(
+        data, n_partitions=kw.get("n_partitions", 10)
+    ),
+    # Extension: all compatible pair systems (max over disjoint
+    # families) plus shell-peel refinement; see repro.core.appri.
+    "AppRI+": lambda data, **kw: _appri_plus(
+        data, n_partitions=kw.get("n_partitions", 10)
+    ),
+    "Onion": lambda data, **kw: OnionIndex(data),
+    "Shell": lambda data, **kw: ShellIndex(data),
+    "PREFER": lambda data, **kw: PreferIndex(data, kw.get("view_weights")),
+    "Scan": lambda data, **kw: LinearScanIndex(data),
+    # Related-work baselines (paper Section 2): distributive and spatial.
+    "TA": lambda data, **kw: ThresholdIndex(data),
+    "R-tree": lambda data, **kw: RTreeIndex(
+        data, leaf_size=kw.get("leaf_size", 32)
+    ),
+    "PREFER-mv": lambda data, **kw: PreferMultiView(
+        data, n_views=kw.get("n_views", 3)
+    ),
+    "AppRI-mv": lambda data, **kw: RobustMultiView(
+        data, n_partitions=kw.get("n_partitions", 10)
+    ),
+}
+
+
+def build_index(name: str, data: np.ndarray, **kwargs) -> tuple[RankedIndex, BuildRecord]:
+    """Build a named index, timing the construction."""
+    if name not in INDEX_BUILDERS:
+        raise KeyError(f"unknown index {name!r}; known: {sorted(INDEX_BUILDERS)}")
+    started = time.perf_counter()
+    index = INDEX_BUILDERS[name](np.asarray(data, dtype=float), **kwargs)
+    seconds = time.perf_counter() - started
+    record = BuildRecord(name, index.size, seconds, index.build_info())
+    return index, record

@@ -1,0 +1,53 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep that output aligned and
+greppable (EXPERIMENTS.md quotes it verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "format_number"]
+
+
+def format_number(value) -> str:
+    """Compact numeric formatting: ints plain, floats to 1 decimal."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value - round(value)) < 1e-9 and abs(value) < 1e15:
+            return str(int(round(value)))
+        return f"{value:.1f}" if abs(value) >= 1 else f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[format_number(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(str(c).rjust(w) for c, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str, xs: Sequence,
+                  series: dict[str, Sequence]) -> str:
+    """One figure as a table: the x column plus one column per line."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return f"{title}\n{render_table(headers, rows)}"

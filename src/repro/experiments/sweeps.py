@@ -1,0 +1,103 @@
+"""Generic parameter sweeps.
+
+The paper varies one parameter per figure (B, c, n, k).  This utility
+runs cartesian grids over any of them and returns flat records, which
+the sensitivity benchmark and downstream notebooks can pivot freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+import numpy as np
+
+from ..data import correlated, minmax_normalize
+from ..queries.workload import grid_weight_workload
+from .harness import build_index, measure_retrieval
+
+__all__ = ["SweepRecord", "sweep", "pivot"]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (configuration, method) measurement."""
+
+    params: dict
+    method: str
+    k: int
+    avg_retrieved: float
+    max_retrieved: int
+    build_seconds: float
+    correct: bool
+
+
+def sweep(
+    methods: Sequence[str],
+    n_values: Sequence[int] = (1_000,),
+    c_values: Sequence[float] = (0.0,),
+    b_values: Sequence[int] = (10,),
+    k: int = 50,
+    n_queries: int = 10,
+    seed: int = 42,
+) -> list[SweepRecord]:
+    """Cartesian sweep over data size, correlation, and partitions.
+
+    Every cell builds fresh indexes on freshly generated (normalized)
+    data and replays the paper's grid workload.  ``b_values`` only
+    affects AppRI-family methods; other methods are still re-measured
+    per B cell so records stay rectangular.
+    """
+    if not methods:
+        raise ValueError("need at least one method")
+    records: list[SweepRecord] = []
+    for n, c in product(n_values, c_values):
+        data = minmax_normalize(correlated(int(n), 3, float(c), seed=seed))
+        queries = grid_weight_workload(3, n_queries, seed=seed)
+        for b in b_values:
+            for method in methods:
+                index, build = build_index(
+                    method, data, n_partitions=int(b)
+                )
+                stats = measure_retrieval(index, queries, k)
+                records.append(
+                    SweepRecord(
+                        params={"n": int(n), "c": float(c), "B": int(b)},
+                        method=method,
+                        k=k,
+                        avg_retrieved=stats.avg,
+                        max_retrieved=stats.max,
+                        build_seconds=build.seconds,
+                        correct=stats.correct,
+                    )
+                )
+    return records
+
+
+def pivot(
+    records: Sequence[SweepRecord],
+    row_param: str,
+    value: str = "avg_retrieved",
+) -> tuple[list, dict[str, list]]:
+    """Reshape records into (xs, series-per-method) for plotting.
+
+    Rows whose other parameters differ are averaged together, so
+    pivoting a pure single-axis sweep is lossless.
+    """
+    xs = sorted({r.params[row_param] for r in records})
+    methods = sorted({r.method for r in records})
+    series: dict[str, list] = {m: [] for m in methods}
+    for x in xs:
+        for m in methods:
+            cell = [
+                getattr(r, value)
+                for r in records
+                if r.method == m and r.params[row_param] == x
+            ]
+            if not cell:
+                raise ValueError(
+                    f"no record for method {m!r} at {row_param}={x}"
+                )
+            series[m].append(float(np.mean(cell)))
+    return xs, series

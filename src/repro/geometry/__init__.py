@@ -1,0 +1,15 @@
+"""Convex geometry substrate: hulls, shells, the weight simplex."""
+
+from .convex import hull_vertices, lower_left_staircase_2d, shell_vertices
+from .halfspace import Hyperplane
+from .weights import gamma_levels, normalize_weights, sample_simplex
+
+__all__ = [
+    "hull_vertices",
+    "shell_vertices",
+    "lower_left_staircase_2d",
+    "Hyperplane",
+    "gamma_levels",
+    "normalize_weights",
+    "sample_simplex",
+]

@@ -1,0 +1,147 @@
+"""Convex hulls and convex shells.
+
+The Onion baseline peels full convex hulls; the Shell variant keeps
+only the part of each hull that can answer *monotone* (non-negative
+weight) minimization queries — the facets "seen by the origin" (paper
+footnote 2).
+
+Shell extraction uses a sentinel construction instead of filtering
+facet normals: append ``d`` far-away sentinel points, one per axis,
+that dominate every data point.  A data point is then a vertex of the
+augmented hull **iff** it is the unique minimizer of some non-negative
+weight vector, which is exactly the shell membership condition.  This
+avoids the subtle unsoundness of per-facet normal filtering (a vertex
+whose normal cone meets the negative orthant may lie only on facets
+with mixed-sign normals).
+
+All functions return *index arrays* into the input points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import ConvexHull, QhullError
+
+__all__ = [
+    "hull_vertices",
+    "shell_vertices",
+    "lower_left_staircase_2d",
+]
+
+
+def _as_points(points: np.ndarray) -> np.ndarray:
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be a 2-D array; got shape {pts.shape}")
+    return pts
+
+
+def _column_normalized(pts: np.ndarray) -> np.ndarray:
+    """Per-column min-max rescaling for numerically robust geometry.
+
+    An invertible diagonal affine map preserves hull vertices and the
+    set of unique monotone minimizers exactly (weights transform by
+    the inverse positive diagonal), while keeping Qhull's coordinates
+    well-conditioned when attribute scales differ by many orders of
+    magnitude.  Constant columns map to zero; they cannot influence
+    extremeness either way.
+    """
+    lo = pts.min(axis=0)
+    span = pts.max(axis=0) - lo
+    span = np.where(span > 0, span, 1.0)
+    return (pts - lo) / span
+
+
+def hull_vertices(points: np.ndarray) -> np.ndarray:
+    """Indices of the convex-hull vertices of ``points``.
+
+    Degenerate inputs (too few points, affinely dependent sets Qhull
+    rejects) fall back to "every point is a vertex", which is sound for
+    onion layering: over-approximating a layer only retrieves tuples
+    earlier, never misses a minimizer.
+    """
+    pts = _as_points(points)
+    n, d = pts.shape
+    if n <= d + 1:
+        return np.arange(n)
+    if d == 1:
+        return np.unique([int(np.argmin(pts[:, 0])), int(np.argmax(pts[:, 0]))])
+    try:
+        hull = ConvexHull(_column_normalized(pts))
+    except QhullError:
+        return np.arange(n)
+    return np.sort(hull.vertices)
+
+
+def shell_vertices(points: np.ndarray) -> np.ndarray:
+    """Indices of the convex-*shell* vertices (monotone minimizers).
+
+    A point belongs to the shell when some non-negative, non-zero
+    weight vector attains its unique minimum there.  Implemented via
+    the sentinel-augmented hull described in the module docstring;
+    2-D inputs use an exact staircase scan with no Qhull dependency.
+    """
+    pts = _as_points(points)
+    n, d = pts.shape
+    if n == 0:
+        return np.arange(0)
+    if d == 1:
+        return np.array([int(np.argmin(pts[:, 0]))])
+    if d == 2:
+        return lower_left_staircase_2d(pts)
+    if n <= d + 1:
+        return np.arange(n)
+    normed = _column_normalized(pts)
+    if float(normed.max()) == 0.0:
+        # All points coincide; any of them answers every query.
+        return np.arange(n)
+    # On the normalized unit scale the sentinels sit at a uniform,
+    # well-conditioned distance along each axis.
+    sentinels = np.full((d, d), 2.0) + 1e3 * np.eye(d)
+    try:
+        hull = ConvexHull(np.vstack([normed, sentinels]))
+    except QhullError:
+        return np.arange(n)
+    vertices = hull.vertices[hull.vertices < n]
+    return np.sort(vertices)
+
+
+def lower_left_staircase_2d(points: np.ndarray) -> np.ndarray:
+    """Exact 2-D convex shell: the lower-left convex chain.
+
+    Walk the points sorted by ``(x, y)`` keeping the convex chain that
+    turns left as seen from below — the set of unique minimizers of
+    ``w1*x + w2*y`` over ``w >= 0``.  Collinear chain points are
+    dropped (they never *uniquely* minimize), matching the hull-vertex
+    semantics of the d >= 3 path.
+    """
+    pts = _as_points(points)
+    if pts.shape[1] != 2:
+        raise ValueError("lower_left_staircase_2d requires 2-D points")
+    n = pts.shape[0]
+    if n == 0:
+        return np.arange(0)
+    pts = _column_normalized(pts)
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    chain: list[int] = []
+    for idx in order:
+        x, y = pts[idx]
+        # Skip points weakly dominated by the current chain tail: the
+        # chain is built left to right, so the tail has the smallest y
+        # seen so far among smaller-or-equal x.
+        if chain and pts[chain[-1]][1] <= y:
+            continue
+        while len(chain) >= 2:
+            ax, ay = pts[chain[-2]]
+            bx, by = pts[chain[-1]]
+            # Keep b only if it lies strictly below the chord from a to
+            # the new point; a point on or above that chord is a convex
+            # combination plus a non-negative shift, so it can never be
+            # the unique minimizer of a monotone query.
+            cross = (bx - ax) * (y - ay) - (by - ay) * (x - ax)
+            if cross <= 0:
+                chain.pop()
+            else:
+                break
+        chain.append(int(idx))
+    return np.sort(np.array(chain, dtype=np.intp))

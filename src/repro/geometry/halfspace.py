@@ -1,0 +1,60 @@
+"""Hyperplanes and halfspaces.
+
+Small shared vocabulary for the exact solvers (arrangement of score
+hyperplanes over the weight simplex) and for convex-shell facet tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Hyperplane", "facet_sees_origin"]
+
+
+class Hyperplane:
+    """The set ``{x : normal . x + offset = 0}``.
+
+    ``side(x) < 0`` is the open halfspace the normal points away from.
+    """
+
+    def __init__(self, normal, offset: float):
+        normal = np.asarray(normal, dtype=float)
+        if normal.ndim != 1:
+            raise ValueError("normal must be one-dimensional")
+        norm = np.linalg.norm(normal)
+        if norm == 0:
+            raise ValueError("normal must be non-zero")
+        self.normal = normal / norm
+        self.offset = float(offset) / norm
+
+    def side(self, points: np.ndarray) -> np.ndarray:
+        """Signed distance of each point; negative is 'below'."""
+        points = np.asarray(points, dtype=float)
+        return points @ self.normal + self.offset
+
+    @classmethod
+    def through_points_2d(cls, p, q) -> "Hyperplane":
+        """The unique line through two distinct 2-D points."""
+        p = np.asarray(p, dtype=float)
+        q = np.asarray(q, dtype=float)
+        direction = q - p
+        if np.allclose(direction, 0):
+            raise ValueError("points must be distinct")
+        normal = np.array([-direction[1], direction[0]])
+        return cls(normal, -float(normal @ p))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Hyperplane(normal={self.normal.tolist()}, offset={self.offset})"
+
+
+def facet_sees_origin(equation: np.ndarray, tol: float = 1e-9) -> bool:
+    """True when a Qhull facet is visible from the origin direction.
+
+    ``equation`` is a Qhull row ``[n_1, ..., n_d, b]`` with *outward*
+    normal ``n``.  For minimization under non-negative weights the
+    touching faces have outward normal ``-w <= 0``, so a facet belongs
+    to the convex *shell* exactly when every normal component is
+    non-positive (paper footnote 2).
+    """
+    equation = np.asarray(equation, dtype=float)
+    return bool(np.all(equation[:-1] <= tol))

@@ -1,0 +1,54 @@
+"""Layer peeling: repeatedly extract a boundary set and recurse.
+
+Shared by the Onion/Shell indexes and by the composite robust-layer
+refinement: peeling with a sound extractor (convex hull or convex
+shell) yields layer numbers that lower-bound every tuple's minimal
+rank — each outer layer contributes at least one tuple preceding any
+inner tuple under every (monotone) linear query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .convex import hull_vertices, shell_vertices
+
+__all__ = ["peel_layers", "hull_peel_layers", "shell_peel_layers"]
+
+
+def peel_layers(points: np.ndarray, extractor) -> np.ndarray:
+    """Assign 1-based layers by repeatedly applying ``extractor``.
+
+    ``extractor(points) -> local vertex indices`` names the tuples of
+    the next layer among the remaining ones.  An empty extraction
+    (defensive; neither hull nor shell produces one on non-empty
+    input) closes the peeling by placing all remaining tuples in the
+    current layer.
+    """
+    pts = np.asarray(points, dtype=float)
+    n = pts.shape[0]
+    layers = np.zeros(n, dtype=np.int64)
+    remaining = np.arange(n)
+    layer = 0
+    while remaining.size:
+        layer += 1
+        local = np.asarray(extractor(pts[remaining]), dtype=np.intp)
+        if local.size == 0 or local.size == remaining.size:
+            layers[remaining] = layer
+            break
+        chosen = remaining[local]
+        layers[chosen] = layer
+        keep = np.ones(remaining.size, dtype=bool)
+        keep[local] = False
+        remaining = remaining[keep]
+    return layers
+
+
+def hull_peel_layers(points: np.ndarray) -> np.ndarray:
+    """Onion layers: convex-hull peeling (sound for all linear queries)."""
+    return peel_layers(points, hull_vertices)
+
+
+def shell_peel_layers(points: np.ndarray) -> np.ndarray:
+    """Shell layers: convex-shell peeling (sound for monotone queries)."""
+    return peel_layers(points, shell_vertices)

@@ -1,0 +1,89 @@
+"""Weight-simplex utilities.
+
+Monotone linear queries live on the standard simplex
+``W = {w : w_i >= 0, sum_i w_i = 1}``.  The exact robust-layer solvers
+parametrize this simplex ((lambda, 1-lambda) for d=2, a 2-D triangle for
+d=3) and the partitioned counting of AppRI picks gamma grids that slice
+subspace wedges evenly in angle.  The helpers here keep those
+conventions in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "normalize_weights",
+    "simplex_corners",
+    "simplex_grid",
+    "sample_simplex",
+    "gamma_levels",
+]
+
+
+def normalize_weights(weights) -> np.ndarray:
+    """Project non-negative weights onto the unit simplex.
+
+    Raises ``ValueError`` on negative entries or an all-zero vector —
+    those are not monotone queries.
+    """
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 1:
+        raise ValueError("weights must be one-dimensional")
+    if np.any(w < 0):
+        raise ValueError("monotone weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must not be all zero")
+    return w / total
+
+
+def simplex_corners(dimensions: int) -> np.ndarray:
+    """The d axis-unit weight vectors (extreme monotone queries)."""
+    if dimensions < 1:
+        raise ValueError("dimensions must be positive")
+    return np.eye(dimensions)
+
+
+def simplex_grid(dimensions: int, resolution: int) -> np.ndarray:
+    """All weight vectors with entries ``k / resolution`` summing to 1.
+
+    Exhaustive grid used by sampled minimal-rank estimators and tests;
+    the number of points is C(resolution + d - 1, d - 1).
+    """
+    if resolution < 1:
+        raise ValueError("resolution must be positive")
+
+    def _compositions(total: int, parts: int):
+        if parts == 1:
+            yield (total,)
+            return
+        for head in range(total + 1):
+            for tail in _compositions(total - head, parts - 1):
+                yield (head, *tail)
+
+    rows = np.array(list(_compositions(resolution, dimensions)), dtype=float)
+    return rows / resolution
+
+
+def sample_simplex(
+    dimensions: int, n_samples: int, seed: int | None = 0
+) -> np.ndarray:
+    """Uniform samples from the weight simplex (Dirichlet(1,...,1))."""
+    rng = np.random.default_rng(seed)
+    return rng.dirichlet(np.ones(dimensions), size=n_samples)
+
+
+def gamma_levels(n_partitions: int) -> np.ndarray:
+    """The paper's gamma grid for B wedge partitions (Section 5.1).
+
+    Returns ``gamma_1 < ... < gamma_{B-1}`` slicing the quarter-plane
+    wedge evenly in *angle*: ``gamma_p = tan(p * pi / (2B))``.  Any
+    increasing positive grid yields a sound lower bound; the even-angle
+    grid matches the paper's "evenly partition the interesting regions"
+    and behaves uniformly for min-max-normalized attributes.
+    """
+    if n_partitions < 1:
+        raise ValueError("the number of partitions B must be >= 1")
+    p = np.arange(1, n_partitions)
+    return np.tan(p * np.pi / (2.0 * n_partitions))

@@ -1,0 +1,27 @@
+"""Queryable top-k indexes: the robust index and all paper baselines."""
+
+from .base import QueryResult, RankedIndex
+from .cursor import RankedCursor
+from .linear_scan import LinearScanIndex
+from .multiview import PreferMultiView, RobustMultiView
+from .onion import OnionIndex, ShellIndex
+from .prefer import PreferIndex
+from .robust import ExactRobustIndex, RobustIndex
+from .rtree import RTreeIndex
+from .threshold import ThresholdIndex
+
+__all__ = [
+    "QueryResult",
+    "RankedIndex",
+    "RobustIndex",
+    "ExactRobustIndex",
+    "OnionIndex",
+    "ShellIndex",
+    "PreferIndex",
+    "PreferMultiView",
+    "RobustMultiView",
+    "LinearScanIndex",
+    "ThresholdIndex",
+    "RTreeIndex",
+    "RankedCursor",
+]

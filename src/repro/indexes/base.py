@@ -1,0 +1,105 @@
+"""Common interface for ranked-query indexes.
+
+Every index answers a monotone top-k query and reports its *retrieval
+cost* — the number of tuples it had to read from the (sequentially
+stored) indexed database.  That count is the paper's evaluation metric
+throughout Section 6, so it is a first-class part of the result.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..queries.ranking import LinearQuery
+
+__all__ = ["QueryResult", "RankedIndex", "rank_candidates"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one top-k query against an index.
+
+    Attributes
+    ----------
+    tids:
+        The top-k tuple ids in rank order (ascending score, tid
+        tie-break) — always identical to a full scan's answer.
+    retrieved:
+        Tuples read from the indexed store to produce the answer.
+    layers_scanned:
+        Layers touched, for layered indexes; 0 where not meaningful.
+    """
+
+    tids: np.ndarray
+    retrieved: int
+    layers_scanned: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "tids", np.asarray(self.tids, dtype=np.intp))
+
+
+class RankedIndex(ABC):
+    """A pre-built structure answering monotone top-k queries."""
+
+    #: Short display name used by the experiment harness.
+    name: str = "index"
+
+    def __init__(self, points: np.ndarray):
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2:
+            raise ValueError(f"points must be 2-D; got shape {pts.shape}")
+        self._points = pts
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed data matrix (n, d)."""
+        return self._points
+
+    @property
+    def size(self) -> int:
+        return self._points.shape[0]
+
+    @property
+    def dimensions(self) -> int:
+        return self._points.shape[1]
+
+    def _check_query(self, query: LinearQuery, k: int) -> int:
+        if query.dimensions != self.dimensions:
+            raise ValueError(
+                f"query has {query.dimensions} weights; "
+                f"index covers {self.dimensions} attributes"
+            )
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return min(k, self.size)
+
+    @abstractmethod
+    def query(self, query: LinearQuery, k: int) -> QueryResult:
+        """Answer a monotone top-k query."""
+
+    def query_batch(self, queries, k: int) -> list[QueryResult]:
+        """Answer many top-k queries.
+
+        The default loops over :meth:`query`; indexes whose candidate
+        set is query-independent (the robust index) override this with
+        one vectorized scoring pass.
+        """
+        return [self.query(q, k) for q in queries]
+
+    def build_info(self) -> dict:
+        """Implementation-specific build statistics (layer counts...)."""
+        return {}
+
+
+def rank_candidates(
+    points: np.ndarray, candidates: np.ndarray, query: LinearQuery, k: int
+) -> np.ndarray:
+    """Exact top-k among ``candidates`` under the library tie rule."""
+    candidates = np.asarray(candidates, dtype=np.intp)
+    scores = query.scores(points[candidates])
+    order = np.lexsort((candidates, scores))
+    return candidates[order[:k]]

@@ -1,0 +1,80 @@
+"""Progressive top-k cursors.
+
+Interactive ranked retrieval rarely knows k up front ("show me more").
+A :class:`RankedCursor` streams results in rank order from any
+:class:`~repro.indexes.base.RankedIndex`, deepening the underlying
+index query as the consumer advances.  For layered indexes the work is
+naturally incremental — layer prefixes only grow — and the cursor's
+``retrieved`` reports the deepest prefix touched so far.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..queries.ranking import LinearQuery
+from .base import RankedIndex
+
+__all__ = ["RankedCursor"]
+
+
+class RankedCursor:
+    """Stream tuples in rank order for one query.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.indexes.linear_scan import LinearScanIndex
+    >>> data = np.random.default_rng(0).random((50, 2))
+    >>> cur = RankedCursor(LinearScanIndex(data), LinearQuery([1, 2]))
+    >>> first = cur.fetch(3)
+    >>> second = cur.fetch(2)
+    >>> combined = list(first) + list(second)
+    >>> combined == list(LinearQuery([1, 2]).top_k(data, 5))
+    True
+    """
+
+    def __init__(self, index: RankedIndex, query: LinearQuery):
+        if query.dimensions != index.dimensions:
+            raise ValueError("query dimensionality does not match the index")
+        self._index = index
+        self._query = query
+        self._emitted = 0
+        self._retrieved = 0
+
+    @property
+    def position(self) -> int:
+        """Tuples emitted so far."""
+        return self._emitted
+
+    @property
+    def retrieved(self) -> int:
+        """Deepest retrieval cost paid so far."""
+        return self._retrieved
+
+    @property
+    def exhausted(self) -> bool:
+        return self._emitted >= self._index.size
+
+    def fetch(self, count: int = 1) -> np.ndarray:
+        """Return the next ``count`` tids in rank order.
+
+        Shorter (possibly empty) arrays signal exhaustion.  Each call
+        re-queries the index at the new depth; layered indexes answer
+        from a grown prefix, so tuples already emitted are never
+        re-ranked inconsistently (the library's tie rule is total).
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0 or self.exhausted:
+            return np.zeros(0, dtype=np.intp)
+        depth = min(self._emitted + count, self._index.size)
+        result = self._index.query(self._query, depth)
+        self._retrieved = max(self._retrieved, result.retrieved)
+        batch = result.tids[self._emitted : depth]
+        self._emitted = depth
+        return batch
+
+    def fetch_all(self) -> np.ndarray:
+        """Everything that remains, in rank order."""
+        return self.fetch(self._index.size - self._emitted)

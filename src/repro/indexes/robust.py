@@ -1,0 +1,205 @@
+"""The robust index (AppRI) as a queryable structure.
+
+Build-time does all the work (:func:`repro.core.appri.appri_layers`);
+query-time is the paper's headline simplicity: read the tuples whose
+layer is at most k — sequentially, in layer order — and rank them.
+No stop-condition bookkeeping is needed, which is why the paper can
+express the query as plain SQL.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.appri import appri_layers
+from ..core.exact import exact_robust_layers
+from ..core.index import layer_offsets, layer_order
+from ..queries.ranking import LinearQuery
+from .base import QueryResult, RankedIndex, rank_candidates
+
+__all__ = ["RobustIndex", "ExactRobustIndex"]
+
+
+class RobustIndex(RankedIndex):
+    """Sequentially layered robust index built with AppRI.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` data matrix (comparable attribute scales advised).
+    n_partitions:
+        The paper's B wedge-partition count (default 10, the paper's
+        operating point after Figures 6-7).
+    counting, matching:
+        Forwarded to :func:`repro.core.appri.appri_layers`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(7)
+    >>> data = rng.random((200, 3))
+    >>> idx = RobustIndex(data, n_partitions=5)
+    >>> res = idx.query(LinearQuery([1, 2, 1]), 10)
+    >>> list(res.tids) == list(LinearQuery([1, 2, 1]).top_k(data, 10))
+    True
+    >>> res.retrieved <= 200
+    True
+    """
+
+    name = "AppRI"
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        n_partitions: int = 10,
+        counting: str = "auto",
+        matching: str = "greedy",
+        systems: str = "complementary",
+        refine: str | None = None,
+    ):
+        super().__init__(points)
+        started = time.perf_counter()
+        self._layers = appri_layers(
+            self._points,
+            n_partitions=n_partitions,
+            counting=counting,
+            matching=matching,
+            systems=systems,
+            refine=refine,
+        )
+        self._build_seconds = time.perf_counter() - started
+        self._n_partitions = n_partitions
+        self._systems = systems
+        self._refine = refine
+        self._order = layer_order(self._layers)
+        self._offsets = layer_offsets(self._layers)
+
+    @property
+    def layers(self) -> np.ndarray:
+        """1-based layer number per tuple."""
+        return self._layers
+
+    def retrieval_cost(self, k: int) -> int:
+        """Tuples a top-k query reads: the size of the first k layers."""
+        c = min(max(k, 0), self._offsets.size - 1)
+        return int(self._offsets[c])
+
+    def candidates_for_k(self, k: int) -> np.ndarray:
+        """Tids in the first k layers, in sequential storage order."""
+        return self._order[: self.retrieval_cost(k)]
+
+    def query(self, query: LinearQuery, k: int) -> QueryResult:
+        k = self._check_query(query, k)
+        if k == 0:
+            return QueryResult(np.zeros(0, dtype=np.intp), 0, 0)
+        candidates = self.candidates_for_k(k)
+        tids = rank_candidates(self._points, candidates, query, k)
+        layers_scanned = (
+            int(self._layers[candidates].max()) if candidates.size else 0
+        )
+        return QueryResult(tids, int(candidates.size), layers_scanned)
+
+    def build_info(self) -> dict:
+        return {
+            "method": "appri",
+            "n_partitions": self._n_partitions,
+            "systems": getattr(self, "_systems", "complementary"),
+            "refine": getattr(self, "_refine", None),
+            "n_layers": int(self._layers.max()) if self.size else 0,
+            "build_seconds": self._build_seconds,
+        }
+
+    def query_batch(self, queries, k: int) -> list[QueryResult]:
+        """Vectorized batch answering.
+
+        The robust index's candidate set depends only on k, so a whole
+        workload is answered with one gather and one matrix multiply:
+        score the shared candidates against all weight vectors at
+        once, then rank each column.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        ks = {self._check_query(q, k) for q in queries}
+        k = ks.pop()
+        if k == 0:
+            return [
+                QueryResult(np.zeros(0, dtype=np.intp), 0, 0) for _ in queries
+            ]
+        candidates = self.candidates_for_k(k)
+        retrieved = int(candidates.size)
+        layers_scanned = (
+            int(self._layers[candidates].max()) if retrieved else 0
+        )
+        weights = np.stack([q.weights for q in queries])  # (q, d)
+        scores = self._points[candidates] @ weights.T      # (c, q)
+        results = []
+        for j in range(len(queries)):
+            order = np.lexsort((candidates, scores[:, j]))
+            results.append(
+                QueryResult(
+                    candidates[order[:k]], retrieved, layers_scanned
+                )
+            )
+        return results
+
+    def save(self, path) -> None:
+        """Persist the index (data + layers + parameters) as ``.npz``.
+
+        The layered structure is what was expensive to build; loading
+        restores it without recomputation.
+        """
+        np.savez_compressed(
+            path,
+            points=self._points,
+            layers=self._layers,
+            n_partitions=np.int64(self._n_partitions),
+            systems=np.str_(getattr(self, "_systems", "complementary")),
+            refine=np.str_(getattr(self, "_refine", None) or ""),
+            format_version=np.int64(1),
+        )
+
+    @classmethod
+    def load(cls, path) -> "RobustIndex":
+        """Restore an index saved with :meth:`save` (no rebuild)."""
+        with np.load(path, allow_pickle=False) as archive:
+            version = int(archive["format_version"])
+            if version != 1:
+                raise ValueError(f"unsupported index file version {version}")
+            index = cls.__new__(cls)
+            RankedIndex.__init__(index, archive["points"])
+            index._layers = archive["layers"].astype(np.intp)
+            index._n_partitions = int(archive["n_partitions"])
+            index._systems = str(archive["systems"])
+            index._refine = str(archive["refine"]) or None
+            index._build_seconds = 0.0
+        index._order = layer_order(index._layers)
+        index._offsets = layer_offsets(index._layers)
+        return index
+
+
+class ExactRobustIndex(RobustIndex):
+    """Robust index built with the exact solver (d <= 3, small n).
+
+    Exists for the exactness-gap ablation and for ground-truth tests;
+    the build is ``O(n^2 log n)`` (d = 2) / ``O(n^3)``-ish (d = 3) so
+    keep n modest.
+    """
+
+    name = "ExactRI"
+
+    def __init__(self, points: np.ndarray):
+        RankedIndex.__init__(self, points)
+        started = time.perf_counter()
+        self._layers = exact_robust_layers(self._points)
+        self._build_seconds = time.perf_counter() - started
+        self._n_partitions = 0
+        self._order = layer_order(self._layers)
+        self._offsets = layer_offsets(self._layers)
+
+    def build_info(self) -> dict:
+        info = super().build_info()
+        info["method"] = "exact"
+        return info

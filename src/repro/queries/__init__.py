@@ -1,0 +1,24 @@
+"""Linear ranked queries and workload generators."""
+
+from .ranking import LinearQuery, rank_of, ranking_order, top_k_tids
+from .workload import (
+    all_grid_weights,
+    corner_workload,
+    focused_workload,
+    grid_weight_workload,
+    simplex_workload,
+    skewed_workload,
+)
+
+__all__ = [
+    "LinearQuery",
+    "rank_of",
+    "ranking_order",
+    "top_k_tids",
+    "grid_weight_workload",
+    "all_grid_weights",
+    "simplex_workload",
+    "corner_workload",
+    "skewed_workload",
+    "focused_workload",
+]

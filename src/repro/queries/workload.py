@@ -1,0 +1,145 @@
+"""Query-workload generators.
+
+The paper's experiments issue batches of monotone linear queries whose
+weights are drawn uniformly from a small integer grid (``{1, 2, 3, 4}``
+per dimension).  This module reproduces that workload and adds a few
+generic samplers (uniform over the weight simplex, axis-aligned corner
+queries) used by tests and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .ranking import LinearQuery
+
+__all__ = [
+    "grid_weight_workload",
+    "simplex_workload",
+    "corner_workload",
+    "all_grid_weights",
+    "skewed_workload",
+    "focused_workload",
+]
+
+
+def grid_weight_workload(
+    dimensions: int,
+    n_queries: int,
+    choices: Sequence[float] = (1.0, 2.0, 3.0, 4.0),
+    seed: int | None = 0,
+) -> list[LinearQuery]:
+    """Random queries with each weight drawn independently from ``choices``.
+
+    This is the paper's workload: "we issue 10 queries by randomly
+    choosing the weights w1, w2, w3 from {1, 2, 3, 4}".
+    """
+    if dimensions < 1:
+        raise ValueError("dimensions must be positive")
+    if n_queries < 0:
+        raise ValueError("n_queries must be non-negative")
+    rng = np.random.default_rng(seed)
+    choices = np.asarray(choices, dtype=float)
+    if np.any(choices < 0):
+        raise ValueError("grid choices must be non-negative for monotone queries")
+    picks = rng.choice(choices, size=(n_queries, dimensions))
+    # Avoid the degenerate all-zero weight vector if 0 is among choices.
+    for row in picks:
+        if not row.any():
+            row[rng.integers(dimensions)] = choices[choices > 0][0]
+    return [LinearQuery(row) for row in picks]
+
+
+def all_grid_weights(
+    dimensions: int, choices: Sequence[float] = (1.0, 2.0, 3.0, 4.0)
+) -> Iterator[LinearQuery]:
+    """Every weight combination on the grid (exhaustive workload).
+
+    Useful for worst-case (max retrieved) measurements: with 3
+    dimensions and 4 choices this enumerates 64 queries.
+    """
+    choices = np.asarray(choices, dtype=float)
+    grids = np.meshgrid(*([choices] * dimensions), indexing="ij")
+    combos = np.stack([g.ravel() for g in grids], axis=1)
+    for row in combos:
+        if row.any():
+            yield LinearQuery(row)
+
+
+def simplex_workload(
+    dimensions: int, n_queries: int, seed: int | None = 0
+) -> list[LinearQuery]:
+    """Queries sampled uniformly from the open weight simplex.
+
+    Weights are Dirichlet(1, ..., 1) samples, i.e. uniform over
+    ``{w >= 0, sum w = 1}``; a tiny floor keeps them strictly positive
+    so every attribute participates.
+    """
+    rng = np.random.default_rng(seed)
+    raw = rng.dirichlet(np.ones(dimensions), size=n_queries)
+    floor = 1e-9
+    raw = np.clip(raw, floor, None)
+    raw /= raw.sum(axis=1, keepdims=True)
+    return [LinearQuery(row) for row in raw]
+
+
+def corner_workload(dimensions: int) -> list[LinearQuery]:
+    """One axis-aligned query per dimension (simplex corners).
+
+    These are the extreme monotone queries; layered indexes must remain
+    sound for them, which makes them good adversarial probes.
+    """
+    eye = np.eye(dimensions)
+    return [LinearQuery(row) for row in eye]
+
+
+def skewed_workload(
+    dimensions: int,
+    n_queries: int,
+    concentration: float = 0.2,
+    seed: int | None = 0,
+) -> list[LinearQuery]:
+    """Queries hugging the simplex corners (sparse-preference users).
+
+    Dirichlet(alpha) with small alpha concentrates mass on few
+    attributes — the adversarial regime for single-view PREFER.
+    """
+    if concentration <= 0:
+        raise ValueError("concentration must be positive")
+    rng = np.random.default_rng(seed)
+    raw = rng.dirichlet(np.full(dimensions, concentration), size=n_queries)
+    floor = 1e-9
+    raw = np.clip(raw, floor, None)
+    raw /= raw.sum(axis=1, keepdims=True)
+    return [LinearQuery(row) for row in raw]
+
+
+def focused_workload(
+    dimensions: int,
+    n_queries: int,
+    center,
+    spread: float = 0.05,
+    seed: int | None = 0,
+) -> list[LinearQuery]:
+    """Queries jittered around one preference vector.
+
+    Models a user population with similar tastes; the regime where a
+    single well-seeded PREFER view shines.
+    """
+    center = np.asarray(center, dtype=float)
+    if center.shape != (dimensions,):
+        raise ValueError("center must have one weight per dimension")
+    if np.any(center < 0) or not center.any():
+        raise ValueError("center must be non-negative and non-zero")
+    if spread < 0:
+        raise ValueError("spread must be non-negative")
+    rng = np.random.default_rng(seed)
+    base = center / center.sum()
+    queries = []
+    for _ in range(n_queries):
+        jitter = rng.normal(0.0, spread, size=dimensions)
+        w = np.clip(base + jitter, 1e-9, None)
+        queries.append(LinearQuery(w / w.sum()))
+    return queries

@@ -1,0 +1,61 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_2d(rng):
+    """80 generic 2-D points in the unit square (duplicate-free)."""
+    return rng.random((80, 2))
+
+
+@pytest.fixture
+def small_3d(rng):
+    """60 generic 3-D points in the unit cube (duplicate-free)."""
+    return rng.random((60, 3))
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+def points_strategy(
+    min_rows: int = 1, max_rows: int = 40, min_dims: int = 1, max_dims: int = 4
+):
+    """Random float matrices with generic (almost surely untied) values."""
+
+    @st.composite
+    def _points(draw):
+        n = draw(st.integers(min_rows, max_rows))
+        d = draw(st.integers(min_dims, max_dims))
+        seed = draw(st.integers(0, 2**32 - 1))
+        return np.random.default_rng(seed).random((n, d))
+
+    return _points()
+
+
+def weights_strategy(dims: int):
+    """Non-negative, not-all-zero weight vectors of fixed dimension."""
+    return (
+        st.lists(
+            st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+            min_size=dims,
+            max_size=dims,
+        )
+        .filter(lambda w: sum(w) > 1e-9)
+        .map(lambda w: np.asarray(w))
+    )

@@ -1,0 +1,121 @@
+"""Tests for domination sets (Definitions 4-5, Lemma 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.domination import (
+    dominates,
+    domination_witness,
+    exclusive_two_domination_bound_bruteforce,
+    is_domination_set,
+    is_minimal_domination_set,
+    strictly_dominates,
+)
+from repro.queries.ranking import LinearQuery
+
+from ..conftest import points_strategy
+
+
+class TestDomination:
+    def test_weak_vs_strict(self):
+        assert dominates([1.0, 2.0], [1.0, 3.0])
+        assert not strictly_dominates([1.0, 2.0], [1.0, 3.0])
+        assert strictly_dominates([0.5, 2.0], [1.0, 3.0])
+
+    def test_self_domination_weak_only(self):
+        assert dominates([1.0], [1.0])
+        assert not strictly_dominates([1.0], [1.0])
+
+
+class TestDominationSets:
+    def test_single_dominator(self):
+        assert is_domination_set(np.array([[0.0, 0.0]]), [1.0, 1.0])
+
+    def test_paper_style_pair(self):
+        # Segment between (0, 1.5) and (1.5, 0) passes below (1, 1).
+        members = np.array([[0.0, 1.5], [1.5, 0.0]])
+        assert is_domination_set(members, [1.0, 1.0])
+
+    def test_segment_misses_target(self):
+        members = np.array([[0.0, 3.0], [3.0, 0.0]])
+        assert not is_domination_set(members, [1.0, 1.0])
+
+    def test_witness_is_convex_and_dominating(self):
+        members = np.array([[0.0, 1.5], [1.5, 0.0]])
+        t = np.array([1.0, 1.0])
+        v = domination_witness(members, t)
+        assert v is not None
+        assert v.sum() == pytest.approx(1.0)
+        assert np.all(v >= -1e-9)
+        assert np.all(members.T @ v <= t + 1e-6)
+
+    def test_witness_none_when_infeasible(self):
+        assert domination_witness(np.array([[2.0, 2.0]]), [1.0, 1.0]) is None
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            is_domination_set(np.array([[1.0, 2.0]]), [1.0, 2.0, 3.0])
+
+
+class TestMinimality:
+    def test_single_dominator_is_minimal(self):
+        assert is_minimal_domination_set(np.array([[0.0, 0.0]]), [1.0, 1.0])
+
+    def test_pair_with_redundant_member_not_minimal(self):
+        # First member alone dominates, so the pair is not minimal.
+        members = np.array([[0.0, 0.0], [3.0, 0.5]])
+        assert not is_minimal_domination_set(members, [1.0, 1.0])
+
+    def test_genuine_pair_is_minimal(self):
+        members = np.array([[0.0, 1.5], [1.5, 0.0]])
+        assert is_minimal_domination_set(members, [1.0, 1.0])
+
+    def test_non_dominating_set_not_minimal(self):
+        members = np.array([[5.0, 5.0], [6.0, 6.0]])
+        assert not is_minimal_domination_set(members, [1.0, 1.0])
+
+
+class TestLemma1Property:
+    """Some member of a domination set precedes t under every query."""
+
+    @given(points_strategy(min_rows=3, max_rows=12, min_dims=2, max_dims=3),
+           st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_domination_set_member_always_precedes(self, pts, wseed):
+        t_idx = 0
+        t = pts[t_idx]
+        members = pts[1:]
+        if not is_domination_set(members, t, tol=1e-12):
+            return
+        rng = np.random.default_rng(wseed)
+        for _ in range(10):
+            w = rng.dirichlet(np.ones(pts.shape[1]))
+            q = LinearQuery(w)
+            scores = q.scores(pts)
+            assert scores[1:].min() <= scores[t_idx] + 1e-7
+
+
+class TestBruteForceBound:
+    def test_matches_hand_computation(self):
+        # t = (1, 1); one dominator and one exclusive 2-domination set.
+        pts = np.array(
+            [[1.0, 1.0],       # t
+             [0.5, 0.5],       # dominator
+             [0.2, 1.4], [1.4, 0.2],  # pair straddling t
+             [5.0, 5.0]]       # useless
+        )
+        assert exclusive_two_domination_bound_bruteforce(pts, 0) == 2
+
+    def test_no_domination(self):
+        pts = np.array([[0.0, 1.0], [1.0, 0.0], [0.5, 0.4]])
+        assert exclusive_two_domination_bound_bruteforce(pts, 0) == 0
+
+    def test_bound_below_exact_minimal_rank(self):
+        from repro.core.exact import minimal_rank
+
+        pts = np.random.default_rng(8).random((12, 2))
+        for t in range(6):
+            bound = exclusive_two_domination_bound_bruteforce(pts, t)
+            assert bound + 1 <= minimal_rank(pts, t)

@@ -1,0 +1,134 @@
+"""Tests for dynamic (insert/delete) maintenance of robust layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.appri import appri_layers
+from repro.core.dynamic import DynamicRobustLayers, layer_for_new_tuple
+from repro.core.exact import exact_robust_layers
+from repro.core.index import violating_tids
+from repro.queries.ranking import LinearQuery
+
+
+def assert_sound(points, layers, seed, n_queries=6):
+    rng = np.random.default_rng(seed)
+    for _ in range(n_queries):
+        w = rng.dirichlet(np.ones(points.shape[1]))
+        k = int(rng.integers(1, points.shape[0] + 1))
+        assert violating_tids(points, layers, LinearQuery(w), k).size == 0
+
+
+class TestLayerForNewTuple:
+    def test_matches_batch_build(self, rng):
+        pts = rng.random((60, 3))
+        batch = appri_layers(pts, n_partitions=6)
+        for t in range(0, 60, 7):
+            others = np.delete(pts, t, axis=0)
+            single = layer_for_new_tuple(others, pts[t], n_partitions=6)
+            # Against the same neighbourhood the one-shot bound equals
+            # the batch bound (identical regions and matching).
+            assert single == batch[t] or abs(single - batch[t]) <= 1
+
+    def test_dominating_tuple_gets_layer_one(self, rng):
+        pts = rng.random((30, 2)) + 1.0
+        assert layer_for_new_tuple(pts, np.zeros(2), n_partitions=5) == 1
+
+    def test_dominated_tuple_gets_deep_layer(self, rng):
+        pts = rng.random((30, 2))
+        layer = layer_for_new_tuple(pts, np.array([2.0, 2.0]), 5)
+        assert layer == 31  # dominated by everything
+
+    def test_empty_relation(self):
+        assert layer_for_new_tuple(np.zeros((0, 2)), np.ones(2)) == 1
+
+    def test_width_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            layer_for_new_tuple(rng.random((5, 2)), np.ones(3))
+
+    def test_lower_bounds_exact_rank(self, rng):
+        pts = rng.random((25, 2))
+        new = rng.random(2)
+        layer = layer_for_new_tuple(pts, new, n_partitions=8)
+        stacked = np.vstack([pts, new[None, :]])
+        assert layer <= exact_robust_layers(stacked)[-1]
+
+
+class TestDynamicIndex:
+    def test_insert_keeps_soundness(self, rng):
+        data = rng.random((40, 2))
+        idx = DynamicRobustLayers(data, n_partitions=5)
+        for i in range(10):
+            idx.insert(rng.random(2))
+        assert idx.size == 50
+        assert idx.staleness == 10
+        assert_sound(idx.points, idx.layers(), seed=1)
+
+    def test_delete_keeps_soundness(self, rng):
+        data = rng.random((40, 2))
+        idx = DynamicRobustLayers(data, n_partitions=5)
+        for _ in range(8):
+            idx.delete(int(rng.integers(idx.size)))
+        assert idx.size == 32
+        assert_sound(idx.points, idx.layers(), seed=2)
+
+    def test_mixed_workload_soundness(self, rng):
+        data = rng.random((30, 3))
+        idx = DynamicRobustLayers(data, n_partitions=4)
+        for step in range(20):
+            if step % 3 == 0 and idx.size > 5:
+                idx.delete(int(rng.integers(idx.size)))
+            else:
+                idx.insert(rng.random(3))
+            assert_sound(idx.points, idx.layers(), seed=step, n_queries=3)
+
+    def test_layers_never_below_one(self, rng):
+        data = rng.random((10, 2))
+        idx = DynamicRobustLayers(data, n_partitions=3)
+        for _ in range(9):
+            idx.delete(0)
+        assert idx.layers().min() >= 1
+
+    def test_rebuild_restores_tightness(self, rng):
+        data = rng.random((40, 2))
+        idx = DynamicRobustLayers(data, n_partitions=5)
+        for _ in range(5):
+            idx.delete(int(rng.integers(idx.size)))
+        loose = idx.layers()
+        idx.rebuild()
+        tight = idx.layers()
+        assert idx.staleness == 0
+        assert tight.sum() >= loose.sum()  # rebuilt layers are deeper
+        assert tight.tolist() == appri_layers(
+            idx.points, n_partitions=5
+        ).tolist()
+
+    def test_delete_out_of_range(self, rng):
+        idx = DynamicRobustLayers(rng.random((5, 2)), n_partitions=2)
+        with pytest.raises(IndexError):
+            idx.delete(5)
+
+    def test_insert_after_delete_compensation(self, rng):
+        """A tuple inserted after deletions must not get an inflated
+        layer from the global deletion adjustment."""
+        data = rng.random((30, 2))
+        idx = DynamicRobustLayers(data, n_partitions=4)
+        idx.delete(0)
+        idx.delete(0)
+        pos = idx.insert(np.array([-1.0, -1.0]))  # dominates everything
+        assert idx.layers()[pos] == 1
+        assert_sound(idx.points, idx.layers(), seed=9)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_property_random_update_streams(self, seed):
+        rng = np.random.default_rng(seed)
+        idx = DynamicRobustLayers(rng.random((15, 2)), n_partitions=3)
+        for _ in range(8):
+            if rng.random() < 0.4 and idx.size > 3:
+                idx.delete(int(rng.integers(idx.size)))
+            else:
+                idx.insert(rng.random(2))
+        exact = exact_robust_layers(idx.points)
+        assert np.all(idx.layers() <= exact)

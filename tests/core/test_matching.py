@@ -1,0 +1,91 @@
+"""Tests for the staircase wedge matching (Lemma 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import greedy_staircase_matching, lemma3_bound
+
+
+def brute_force_staircase(i_counts, iii_counts):
+    """Exact max matching by explicit flow on the tiny staircase."""
+    import networkx as nx
+
+    b = len(i_counts)
+    graph = nx.DiGraph()
+    graph.add_node("s")
+    graph.add_node("t")
+    for i in range(1, b + 1):
+        graph.add_edge("s", f"I{i}", capacity=int(i_counts[i - 1]))
+        graph.add_edge(f"III{i}", "t", capacity=int(iii_counts[i - 1]))
+    for i in range(1, b + 1):
+        for j in range(1, b + 1):
+            if i + j <= b:
+                graph.add_edge(f"I{i}", f"III{j}", capacity=10**9)
+    return nx.maximum_flow_value(graph, "s", "t")
+
+
+wedge_rows = st.lists(st.integers(0, 12), min_size=1, max_size=8)
+
+
+class TestKnownCases:
+    def test_b2_is_min(self):
+        assert greedy_staircase_matching([3, 99], [5, 99]).tolist() == [3]
+        assert lemma3_bound([3, 99], [5, 99]).tolist() == [3]
+
+    def test_b1_matches_nothing(self):
+        assert greedy_staircase_matching([7], [9]).tolist() == [0]
+
+    def test_last_wedges_never_match(self):
+        # All mass in I_B / III_B: zero pairs.
+        assert greedy_staircase_matching([0, 0, 10], [0, 0, 10]).tolist() == [0]
+
+    def test_paper_lemma3_example_shape(self):
+        i_counts = [2, 5, 0]
+        iii_counts = [3, 10, 0]
+        assert greedy_staircase_matching(i_counts, iii_counts).tolist() == [
+            brute_force_staircase(i_counts, iii_counts)
+        ]
+
+    def test_vectorized_rows(self):
+        i_rows = np.array([[1, 2, 0], [4, 0, 1]])
+        iii_rows = np.array([[2, 2, 9], [1, 1, 0]])
+        greedy = greedy_staircase_matching(i_rows, iii_rows)
+        formula = lemma3_bound(i_rows, iii_rows)
+        assert greedy.tolist() == formula.tolist()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_staircase_matching([1, 2], [1, 2, 3])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            lemma3_bound([1, -1], [0, 0])
+
+
+class TestEquivalences:
+    @given(wedge_rows, wedge_rows)
+    @settings(max_examples=80, deadline=None)
+    def test_greedy_equals_lemma3(self, i_counts, iii_counts):
+        b = min(len(i_counts), len(iii_counts))
+        i_counts, iii_counts = i_counts[:b], iii_counts[:b]
+        greedy = greedy_staircase_matching(i_counts, iii_counts)[0]
+        formula = lemma3_bound(i_counts, iii_counts)[0]
+        assert greedy == formula
+
+    @given(wedge_rows, wedge_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_equals_max_flow(self, i_counts, iii_counts):
+        b = min(len(i_counts), len(iii_counts))
+        i_counts, iii_counts = i_counts[:b], iii_counts[:b]
+        greedy = greedy_staircase_matching(i_counts, iii_counts)[0]
+        assert greedy == brute_force_staircase(i_counts, iii_counts)
+
+    @given(wedge_rows, wedge_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_by_total_mass(self, i_counts, iii_counts):
+        b = min(len(i_counts), len(iii_counts))
+        i_counts, iii_counts = i_counts[:b], iii_counts[:b]
+        greedy = greedy_staircase_matching(i_counts, iii_counts)[0]
+        assert greedy <= min(sum(i_counts), sum(iii_counts))

@@ -1,0 +1,92 @@
+"""Regression tests mirroring the paper's worked examples (Section 1).
+
+The 8-tuple configuration below realizes the geometry of Figures 1-2:
+five staircase tuples (t1..t5) and three interior tuples that are not
+dominated by any single tuple yet are convexly dominated, so the
+robust index pushes them into layers 2..4 — the paper's "more layer
+opportunities".  The same configuration exhibits Example 1's PREFER
+pathology: t1 ranks *last* under the materialized view x + y but
+*first* under the query 3x + y, forcing PREFER to scan the entire
+view.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.appri import appri_layers
+from repro.core.exact import exact_robust_layers
+from repro.geometry.peeling import shell_peel_layers
+from repro.indexes.onion import ShellIndex
+from repro.indexes.prefer import PreferIndex
+from repro.indexes.robust import RobustIndex
+from repro.queries.ranking import LinearQuery
+
+PAPER_POINTS = np.array(
+    [
+        [0.05, 0.95],  # t1: best on x, worst on y
+        [0.20, 0.60],  # t2
+        [0.40, 0.35],  # t3
+        [0.65, 0.15],  # t4
+        [0.95, 0.02],  # t5: best on y
+        [0.28, 0.55],  # t6: convexly dominated by {t2, t3}
+        [0.35, 0.50],  # t7: buried deeper
+        [0.36, 0.47],  # t8
+    ]
+)
+
+
+class TestExampleTwoLayering:
+    def test_exact_layers(self):
+        assert exact_robust_layers(PAPER_POINTS).tolist() == [
+            1, 1, 1, 1, 1, 2, 4, 3,
+        ]
+
+    def test_appri_recovers_exact_here(self):
+        assert appri_layers(PAPER_POINTS, n_partitions=8).tolist() == [
+            1, 1, 1, 1, 1, 2, 4, 3,
+        ]
+
+    def test_staircase_tuples_in_layer_one(self):
+        layers = exact_robust_layers(PAPER_POINTS)
+        assert np.all(layers[:5] == 1)
+
+    def test_robust_index_has_more_layers_than_shell(self):
+        """The paper's 'more layer opportunities' claim."""
+        exact = exact_robust_layers(PAPER_POINTS)
+        shell = shell_peel_layers(PAPER_POINTS)
+        assert exact.max() > shell.max()
+        # Every shell depth is a valid lower bound on the exact layer.
+        assert np.all(shell <= exact)
+
+    def test_top2_mass_smaller_with_robust_layers(self):
+        exact = exact_robust_layers(PAPER_POINTS)
+        shell = shell_peel_layers(PAPER_POINTS)
+        assert (exact <= 2).sum() < (shell <= 2).sum()
+
+
+class TestExampleOnePreferSensitivity:
+    def test_skewed_query_scans_everything(self):
+        prefer = PreferIndex(PAPER_POINTS)  # view: x + y
+        result = prefer.query(LinearQuery([3.0, 1.0]), 2)
+        assert result.retrieved == 8
+        assert result.tids.tolist() == [0, 1]
+
+    def test_t1_is_last_in_view_but_first_in_query(self):
+        view_scores = PAPER_POINTS @ np.array([1.0, 1.0])
+        query_scores = PAPER_POINTS @ np.array([3.0, 1.0])
+        assert int(np.argmax(view_scores)) == 0
+        assert int(np.argmin(query_scores)) == 0
+
+
+class TestIndexesAgreeOnExample:
+    @pytest.mark.parametrize("weights", [[1, 1], [3, 1], [1, 3], [1, 0], [0, 1]])
+    @pytest.mark.parametrize("k", [1, 2, 5, 8])
+    def test_all_indexes_return_scan_answer(self, weights, k):
+        q = LinearQuery(weights)
+        expected = q.top_k(PAPER_POINTS, k).tolist()
+        for index in (
+            RobustIndex(PAPER_POINTS, n_partitions=6),
+            ShellIndex(PAPER_POINTS),
+            PreferIndex(PAPER_POINTS),
+        ):
+            assert index.query(q, k).tids.tolist() == expected

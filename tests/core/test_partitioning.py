@@ -1,0 +1,213 @@
+"""Tests for subspace pair systems and gamma-wedge transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.domination import is_domination_set
+from repro.core.partitioning import (
+    SubspacePair,
+    disjoint_system_families,
+    level_transform,
+    max_transformed_dimension,
+    pair_systems,
+    subspace_pairs,
+    subspace_transform,
+    transformed_dimension,
+)
+from repro.geometry.weights import gamma_levels
+
+
+def region_member(u, t, pair, gamma, side):
+    """Reference membership predicate from the module docstring."""
+    j1, j2, d0 = pair.side_a_above, pair.side_b_above, pair.shared_below
+    if side == "a":
+        above, below_implied = j1, j2
+    else:
+        above, below_implied = j2, j1
+    if any(u[i] >= t[i] for i in d0):
+        return False
+    if any(u[j] <= t[j] for j in above):
+        return False
+    if any(u[i] >= t[i] for i in below_implied):
+        return False
+    for i in j2:
+        for j in j1:
+            if gamma * u[i] + u[j] > gamma * t[i] + t[j]:
+                return False
+    return True
+
+
+class TestEnumeration:
+    def test_complementary_count(self):
+        assert len(subspace_pairs(3)) == 3
+        assert len(subspace_pairs(4)) == 7
+
+    def test_complementary_masks(self):
+        for pair in subspace_pairs(4):
+            assert pair.is_complementary
+            assert pair.mask | pair.complement_mask == 15
+            assert pair.mask & pair.complement_mask == 0
+
+    def test_one_dimension_has_no_pairs(self):
+        assert subspace_pairs(1) == []
+
+    def test_all_systems_count_d3(self):
+        # Compatible unordered mask pairs for d=3: 3 complementary + 3
+        # partial.
+        assert len(pair_systems(3)) == 6
+
+    def test_partial_systems_have_shared_below(self):
+        partial = [s for s in pair_systems(3) if not s.is_complementary]
+        assert len(partial) == 3
+        for s in partial:
+            assert len(s.shared_below) == 1
+
+    def test_include_partial_false_matches_paper(self):
+        assert pair_systems(3, include_partial=False) == subspace_pairs(3)
+
+    def test_rejects_overlapping_sides(self):
+        with pytest.raises(ValueError, match="overlap"):
+            SubspacePair(side_a_above=(0,), side_b_above=(0, 1))
+
+    def test_rejects_empty_side(self):
+        with pytest.raises(ValueError):
+            SubspacePair(side_a_above=(), side_b_above=(1,))
+
+
+class TestFamilies:
+    def test_complementary_family_first(self):
+        systems = pair_systems(3)
+        families = disjoint_system_families(systems)
+        first = families[0]
+        assert all(systems[i].is_complementary for i in first)
+        assert len(first) == 3
+
+    def test_families_are_mask_disjoint(self):
+        systems = pair_systems(3)
+        for family in disjoint_system_families(systems):
+            seen = set()
+            for i in family:
+                for mask in (systems[i].mask, systems[i].complement_mask):
+                    assert mask not in seen
+                    seen.add(mask)
+
+    def test_d3_family_inventory(self):
+        systems = pair_systems(3)
+        families = disjoint_system_families(systems)
+        sizes = sorted(len(f) for f in families)
+        # One all-complementary family of 3 plus three mixed pairs.
+        assert sizes == [2, 2, 2, 3]
+
+    def test_cap_respected(self):
+        systems = pair_systems(4)
+        families = disjoint_system_families(systems, max_families=5)
+        assert 1 <= len(families) <= 5
+
+
+class TestTransformedDimensions:
+    def test_r_of_d_formula(self):
+        assert max_transformed_dimension(2) == 2
+        assert max_transformed_dimension(3) == 4
+        assert max_transformed_dimension(4) == 6
+        assert max_transformed_dimension(5) == 9
+
+    def test_formula_matches_maximum_over_pairs(self):
+        for d in (2, 3, 4, 5):
+            widest = max(transformed_dimension(p) for p in subspace_pairs(d))
+            assert widest == max_transformed_dimension(d)
+
+    def test_partial_systems_never_wider(self):
+        for d in (3, 4):
+            cap = max_transformed_dimension(d)
+            for s in pair_systems(d):
+                assert transformed_dimension(s) <= cap
+
+
+class TestTransforms:
+    @pytest.mark.parametrize("side", ["a", "b"])
+    def test_subspace_transform_counts_membership(self, side):
+        rng = np.random.default_rng(0)
+        pts = rng.random((40, 3))
+        for pair in pair_systems(3):
+            y = subspace_transform(pts, pair, side)
+            for t in (0, 7):
+                member = (y < y[t]).all(axis=1)
+                for u in range(40):
+                    j1, j2, d0 = (pair.side_a_above, pair.side_b_above,
+                                  pair.shared_below)
+                    above = j1 if side == "a" else j2
+                    below = tuple(set(range(3)) - set(above))
+                    expected = (
+                        u != t
+                        and all(pts[u, j] > pts[t, j] for j in above)
+                        and all(pts[u, i] < pts[t, i] for i in below)
+                    )
+                    assert bool(member[u]) == expected
+
+    @pytest.mark.parametrize("side", ["a", "b"])
+    def test_level_transform_counts_membership(self, side):
+        rng = np.random.default_rng(1)
+        pts = rng.random((30, 3))
+        gamma = 0.7
+        for pair in pair_systems(3):
+            y = level_transform(pts, pair, gamma, side)
+            for t in (0, 5):
+                member = (y < y[t]).all(axis=1)
+                for u in range(30):
+                    if u == t:
+                        assert not member[u]
+                        continue
+                    expected = region_member(pts[u], pts[t], pair, gamma, side)
+                    assert bool(member[u]) == expected
+
+    def test_level_transform_rejects_bad_gamma(self):
+        pair = subspace_pairs(2)[0]
+        with pytest.raises(ValueError):
+            level_transform(np.ones((2, 2)), pair, 0.0, "a")
+
+    def test_transforms_reject_bad_side(self):
+        pair = subspace_pairs(2)[0]
+        with pytest.raises(ValueError):
+            subspace_transform(np.ones((2, 2)), pair, "c")
+        with pytest.raises(ValueError):
+            level_transform(np.ones((2, 2)), pair, 1.0, "c")
+
+
+class TestNesting:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_levels_are_nested(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((25, 3))
+        gammas = gamma_levels(6)
+        for pair in pair_systems(3)[:2]:
+            t = 0
+            previous = None
+            for gamma in gammas:
+                y = level_transform(pts, pair, float(gamma), "a")
+                current = set(np.flatnonzero((y < y[t]).all(axis=1)).tolist())
+                if previous is not None:
+                    assert previous <= current  # a_p grows with gamma
+                previous = current
+
+
+class TestLemma4:
+    """Wedge pairing produces genuine 2-domination sets."""
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_common_level_members_dominate(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((30, 3))
+        t = 0
+        gamma = float(gamma_levels(4)[1])
+        for pair in pair_systems(3):
+            ya = level_transform(pts, pair, gamma, "a")
+            yb = level_transform(pts, pair, gamma, "b")
+            side_a = np.flatnonzero((ya < ya[t]).all(axis=1))
+            side_b = np.flatnonzero((yb < yb[t]).all(axis=1))
+            for u in side_a[:3]:
+                for v in side_b[:3]:
+                    assert is_domination_set(pts[[u, v]], pts[t], tol=1e-9)

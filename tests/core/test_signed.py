@@ -1,0 +1,67 @@
+"""Tests for the non-monotone extension (per-orthant layerings)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signed import SignedRobustLayers, sign_pattern_of
+from repro.queries.ranking import LinearQuery
+
+
+class TestSignPatterns:
+    def test_zeros_count_as_positive(self):
+        assert sign_pattern_of(np.array([0.0, -1.0, 2.0])) == (1, -1, 1)
+
+    def test_all_patterns_built(self):
+        data = np.random.default_rng(0).random((20, 2))
+        idx = SignedRobustLayers(data, n_partitions=3)
+        assert len(idx.sign_patterns) == 4
+        assert idx.dimensions == 2
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            SignedRobustLayers(np.ones(5))
+
+    def test_dimension_mismatch(self):
+        data = np.random.default_rng(0).random((10, 2))
+        idx = SignedRobustLayers(data, n_partitions=2)
+        with pytest.raises(ValueError):
+            idx.layers_for(LinearQuery([1.0, 1.0, 1.0]))
+
+
+class TestSoundnessAllOrthants:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_any_sign_query_is_answered(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.random((30, 2))
+        idx = SignedRobustLayers(data, n_partitions=3)
+        for _ in range(6):
+            w = rng.normal(size=2)
+            if not w.any():
+                continue
+            q = LinearQuery(w, require_monotone=False)
+            k = int(rng.integers(1, 15))
+            layers = idx.layers_for(q)
+            top = q.top_k(data, k)
+            assert np.all(layers[top] <= k)
+
+    def test_query_method_matches_full_scan(self):
+        rng = np.random.default_rng(7)
+        data = rng.random((40, 3))
+        idx = SignedRobustLayers(data, n_partitions=3)
+        for w in ([1.0, -2.0, 0.5], [-1.0, -1.0, -1.0], [2.0, 1.0, 1.0]):
+            q = LinearQuery(w, require_monotone=False)
+            tids, retrieved = idx.query(q, 8)
+            assert tids.tolist() == q.top_k(data, 8).tolist()
+            assert 8 <= retrieved <= 40
+
+    def test_monotone_pattern_matches_plain_appri(self):
+        from repro.core.appri import appri_layers
+
+        data = np.random.default_rng(3).random((25, 2))
+        idx = SignedRobustLayers(data, n_partitions=4)
+        q = LinearQuery([1.0, 2.0])
+        expected = appri_layers(data, n_partitions=4)
+        assert idx.layers_for(q).tolist() == expected.tolist()

@@ -1,0 +1,59 @@
+"""Tests for the layering audit."""
+
+import numpy as np
+import pytest
+
+from repro.core.appri import appri_layers
+from repro.core.validate import audit_layering
+
+
+class TestAudit:
+    def test_valid_layering_passes(self, rng):
+        pts = rng.random((60, 3))
+        layers = appri_layers(pts, n_partitions=5)
+        report = audit_layering(pts, layers, n_queries=50, seed=0)
+        assert report.sound
+        assert report.violations == 0
+        assert report.checked_exact
+        assert report.exceeds_exact == 0
+        assert report.layer_mass_at[10] >= 10
+
+    def test_broken_layering_caught_by_queries(self, rng):
+        pts = rng.random((40, 2))
+        layers = appri_layers(pts, n_partitions=4)
+        broken = layers.copy()
+        # Bury a layer-1 tuple at the bottom.
+        victim = int(np.flatnonzero(layers == 1)[0])
+        broken[victim] = 40
+        report = audit_layering(pts, broken, n_queries=100, seed=1,
+                                check_exact=False)
+        assert not report.sound
+        assert report.violations > 0
+
+    def test_inflated_layer_caught_by_exact_check(self, rng):
+        pts = rng.random((30, 2))
+        layers = appri_layers(pts, n_partitions=4)
+        inflated = layers.copy()
+        inflated[0] = 30  # deeper than the exact robust layer
+        report = audit_layering(pts, inflated, n_queries=0, seed=2,
+                                check_exact=True)
+        assert report.exceeds_exact >= 1
+        assert not report.sound
+
+    def test_exact_check_skipped_when_large(self, rng):
+        pts = rng.random((500, 3))
+        layers = appri_layers(pts, n_partitions=3)
+        report = audit_layering(pts, layers, n_queries=10, seed=3)
+        assert not report.checked_exact
+        assert report.sound  # query probes alone
+
+    def test_summary_text(self, rng):
+        pts = rng.random((30, 2))
+        layers = appri_layers(pts, n_partitions=3)
+        text = audit_layering(pts, layers, n_queries=10).summary()
+        assert "verdict: SOUND" in text
+        assert "tuples: 30" in text
+
+    def test_size_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            audit_layering(rng.random((5, 2)), np.ones(4, dtype=int))

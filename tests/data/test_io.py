@@ -1,0 +1,65 @@
+"""Tests for CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import (
+    load_csv,
+    loads_csv,
+    relation_from_csv,
+    relation_to_csv,
+    save_csv,
+)
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path, rng):
+        matrix = rng.random((20, 3))
+        path = tmp_path / "data.csv"
+        save_csv(path, ["a", "b", "c"], matrix)
+        names, loaded = load_csv(path)
+        assert names == ["a", "b", "c"]
+        assert np.allclose(loaded, matrix)
+
+    def test_relation_round_trip(self, tmp_path, rng):
+        from repro.engine.relation import Relation
+
+        rel = Relation.from_matrix("t", ["x", "y"], rng.random((5, 2)))
+        path = tmp_path / "rel.csv"
+        relation_to_csv(rel, path)
+        back = relation_from_csv("t", path)
+        assert back.schema.names == ("x", "y")
+        assert np.allclose(back.matrix(), rel.matrix())
+
+    def test_empty_body(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b\n")
+        names, matrix = load_csv(path)
+        assert names == ["a", "b"]
+        assert matrix.shape == (0, 2)
+
+
+class TestValidation:
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            loads_csv("")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError, match=":3:"):
+            loads_csv("a,b\n1,2\n3\n")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            loads_csv("a,b\n1,x\n")
+
+    def test_blank_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            loads_csv(",b\n1,2\n")
+
+    def test_header_whitespace_stripped(self):
+        names, _ = loads_csv(" a , b \n1,2\n")
+        assert names == ["a", "b"]
+
+    def test_save_width_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_csv(tmp_path / "x.csv", ["a"], np.ones((2, 2)))

@@ -1,0 +1,63 @@
+"""Tests for the real-data surrogates (sizes, ranges, correlations)."""
+
+import numpy as np
+
+from repro.data.real import (
+    ABALONE_ATTRIBUTES,
+    COVER_ATTRIBUTES,
+    abalone3d,
+    cover3d,
+)
+
+
+def corr(pts, i, j):
+    return float(np.corrcoef(pts[:, i], pts[:, j])[0, 1])
+
+
+class TestAbalone:
+    def test_size_matches_uci_fragment(self):
+        pts = abalone3d()
+        assert pts.shape == (4177, 3)
+        assert len(ABALONE_ATTRIBUTES) == 3
+
+    def test_deterministic(self):
+        assert np.array_equal(abalone3d(), abalone3d())
+
+    def test_plausible_ranges(self):
+        pts = abalone3d()
+        length, whole, shucked = pts[:, 0], pts[:, 1], pts[:, 2]
+        assert length.min() > 0 and length.max() < 1.0
+        assert whole.min() > 0
+        # Shucked weight is part of the whole weight.
+        assert np.all(shucked < whole)
+
+    def test_strong_biometric_correlations(self):
+        pts = abalone3d()
+        assert corr(pts, 0, 1) > 0.85   # length vs whole weight
+        assert corr(pts, 1, 2) > 0.9    # whole vs shucked
+
+
+class TestCover:
+    def test_size_matches_paper_fragment(self):
+        pts = cover3d()
+        assert pts.shape == (10_000, 3)
+        assert len(COVER_ATTRIBUTES) == 3
+
+    def test_custom_size(self):
+        assert cover3d(n=500).shape == (500, 3)
+
+    def test_deterministic(self):
+        assert np.array_equal(cover3d(), cover3d())
+
+    def test_plausible_ranges(self):
+        pts = cover3d()
+        elevation, hdtr, hdtfp = pts[:, 0], pts[:, 1], pts[:, 2]
+        assert 1800 <= elevation.min() and elevation.max() <= 3900
+        assert hdtr.min() >= 0 and hdtr.max() <= 7000
+        assert hdtfp.min() >= 0 and hdtfp.max() <= 7000
+
+    def test_mild_positive_correlations(self):
+        pts = cover3d()
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert 0.1 < corr(pts, i, j) < 0.8

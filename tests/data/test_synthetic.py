@@ -1,0 +1,124 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    anticorrelated,
+    clustered,
+    correlated,
+    minmax_normalize,
+    uniform,
+)
+from repro.dstruct.dominance import columns_duplicate_free
+
+
+def mean_pairwise_correlation(pts):
+    corr = np.corrcoef(pts, rowvar=False)
+    d = corr.shape[0]
+    off = corr[~np.eye(d, dtype=bool)]
+    return float(off.mean())
+
+
+class TestUniform:
+    def test_shape_and_range(self):
+        pts = uniform(500, 3, seed=0)
+        assert pts.shape == (500, 3)
+        assert pts.min() >= 0 and pts.max() <= 1
+
+    def test_deterministic(self):
+        assert np.array_equal(uniform(50, 2, seed=1), uniform(50, 2, seed=1))
+
+    def test_duplicate_free_columns(self):
+        assert columns_duplicate_free(uniform(1000, 3, seed=2))
+
+    def test_near_zero_correlation(self):
+        assert abs(mean_pairwise_correlation(uniform(5000, 3, seed=3))) < 0.05
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            uniform(-1, 2)
+        with pytest.raises(ValueError):
+            uniform(5, 0)
+
+
+class TestCorrelated:
+    def test_c_zero_is_uniform_like(self):
+        pts = correlated(2000, 3, 0.0, seed=4)
+        assert abs(mean_pairwise_correlation(pts)) < 0.07
+
+    def test_correlation_increases_with_c(self):
+        values = [
+            mean_pairwise_correlation(correlated(3000, 3, c, seed=5))
+            for c in (0.0, 0.3, 0.6, 0.9)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_c_one_strongly_correlated_but_untied(self):
+        pts = correlated(800, 3, 1.0, seed=6)
+        assert mean_pairwise_correlation(pts) > 0.99
+        assert columns_duplicate_free(pts)
+
+    def test_rejects_out_of_range_c(self):
+        with pytest.raises(ValueError):
+            correlated(10, 2, 1.5)
+        with pytest.raises(ValueError):
+            correlated(10, 2, -0.1)
+
+    def test_range(self):
+        pts = correlated(500, 4, 0.7, seed=7)
+        assert pts.min() >= 0 and pts.max() <= 1
+
+
+class TestAnticorrelated:
+    def test_sum_concentrates_near_half_d(self):
+        pts = anticorrelated(400, 3, seed=8)
+        sums = pts.sum(axis=1)
+        assert abs(float(sums.mean()) - 1.5) < 0.05
+        assert float(sums.std()) < 0.2
+
+    def test_negative_pairwise_correlation(self):
+        assert mean_pairwise_correlation(anticorrelated(1500, 3, seed=9)) < -0.2
+
+    def test_range(self):
+        pts = anticorrelated(300, 2, seed=10)
+        assert pts.min() >= 0 and pts.max() <= 1
+
+
+class TestClustered:
+    def test_shape_and_determinism(self):
+        a = clustered(200, 3, n_clusters=4, seed=11)
+        b = clustered(200, 3, n_clusters=4, seed=11)
+        assert a.shape == (200, 3)
+        assert np.array_equal(a, b)
+
+    def test_rejects_no_clusters(self):
+        with pytest.raises(ValueError):
+            clustered(10, 2, n_clusters=0)
+
+
+class TestNormalize:
+    def test_unit_range_per_column(self):
+        rng = np.random.default_rng(12)
+        pts = rng.normal(5.0, 3.0, size=(100, 3)) * np.array([1, 100, 0.01])
+        normed = minmax_normalize(pts)
+        assert np.allclose(normed.min(axis=0), 0.0)
+        assert np.allclose(normed.max(axis=0), 1.0)
+
+    def test_constant_column(self):
+        pts = np.array([[1.0, 5.0], [2.0, 5.0]])
+        normed = minmax_normalize(pts)
+        assert normed[:, 1].tolist() == [0.0, 0.0]
+
+    def test_rank_preserving(self):
+        rng = np.random.default_rng(13)
+        pts = rng.normal(size=(50, 2))
+        normed = minmax_normalize(pts)
+        for j in range(2):
+            assert np.array_equal(
+                np.argsort(pts[:, j]), np.argsort(normed[:, j])
+            )
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            minmax_normalize(np.ones(5))

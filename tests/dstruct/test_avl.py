@@ -1,0 +1,96 @@
+"""Tests for the order-statistic AVL tree (paper's modified AVL)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dstruct.avl import OrderStatisticAVL
+
+
+def reference_count_le(values, q):
+    return sum(1 for v in values if v <= q)
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = OrderStatisticAVL()
+        assert len(tree) == 0
+        assert tree.count_le(100) == 0
+        assert tree.count_lt(100) == 0
+
+    def test_docstring_scenario(self):
+        tree = OrderStatisticAVL([5, 1, 4, 4, 9])
+        assert tree.count_le(4) == 3
+        assert tree.count_lt(4) == 1
+        assert tree.count_le(9) == 5
+        assert tree.count_le(0) == 0
+        assert len(tree) == 5
+
+    def test_duplicates_count_multiplicities(self):
+        tree = OrderStatisticAVL([2, 2, 2])
+        assert tree.count_le(2) == 3
+        assert tree.count_lt(2) == 0
+
+    def test_invariants_after_sorted_inserts(self):
+        tree = OrderStatisticAVL(range(100))
+        tree.check_invariants()
+        assert tree.count_le(49) == 50
+
+    def test_invariants_after_reverse_inserts(self):
+        tree = OrderStatisticAVL(reversed(range(100)))
+        tree.check_invariants()
+        assert tree.count_lt(50) == 50
+
+    def test_height_is_logarithmic(self):
+        n = 2048
+        tree = OrderStatisticAVL(range(n))
+        # AVL height bound: 1.44 * log2(n + 2).
+        assert tree.height() <= 1.45 * math.log2(n + 2)
+
+
+class TestRandomized:
+    @given(st.lists(st.integers(-50, 50), max_size=200),
+           st.integers(-60, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_counts_match_reference(self, values, q):
+        tree = OrderStatisticAVL(values)
+        assert tree.count_le(q) == reference_count_le(values, q)
+        assert tree.count_lt(q) == sum(1 for v in values if v < q)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=32), max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold(self, values):
+        tree = OrderStatisticAVL(values)
+        tree.check_invariants()
+        assert len(tree) == len(values)
+
+    def test_matches_numpy_on_large_random(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 1000, size=2000)
+        tree = OrderStatisticAVL(values)
+        tree.check_invariants()
+        for q in rng.integers(0, 1000, size=20):
+            assert tree.count_le(int(q)) == int(np.count_nonzero(values <= q))
+
+
+class TestSweepUsage:
+    def test_dominance_sweep_pattern(self):
+        """The paper's Algorithm-1 usage: query before insert."""
+        pts = np.random.default_rng(5).random((300, 2))
+        order = np.argsort(pts[:, 0])
+        tree = OrderStatisticAVL()
+        counts = {}
+        for tid in order:
+            counts[int(tid)] = tree.count_lt(pts[tid, 1])
+            tree.insert(pts[tid, 1])
+        for tid, count in counts.items():
+            expected = int(
+                np.count_nonzero(
+                    (pts[:, 0] < pts[tid, 0]) & (pts[:, 1] < pts[tid, 1])
+                )
+            )
+            assert count == expected

@@ -1,0 +1,134 @@
+"""Tests for dominance-factor counting: all engines must agree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.dstruct.dominance import (
+    columns_duplicate_free,
+    count_dominators,
+    count_dominators_blocked,
+    count_dominators_divide_conquer,
+    count_dominators_naive,
+    count_dominators_sweep,
+)
+
+from ..conftest import points_strategy
+
+
+def brute(pts):
+    pts = np.asarray(pts, dtype=float)
+    return np.array(
+        [int(np.all(pts < row, axis=1).sum()) for row in pts], dtype=np.intp
+    )
+
+
+class TestReferenceSemantics:
+    def test_simple_chain(self):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        assert count_dominators_naive(pts).tolist() == [0, 1, 2]
+
+    def test_incomparable_points(self):
+        pts = np.array([[1.0, 3.0], [3.0, 1.0]])
+        assert count_dominators_naive(pts).tolist() == [0, 0]
+
+    def test_strictness_on_shared_coordinate(self):
+        pts = np.array([[1.0, 1.0], [1.0, 2.0]])
+        # Equal first coordinate: no strict domination either way.
+        assert count_dominators_naive(pts).tolist() == [0, 0]
+
+    def test_identical_rows_do_not_dominate(self):
+        pts = np.array([[2.0, 2.0], [2.0, 2.0]])
+        assert count_dominators_naive(pts).tolist() == [0, 0]
+
+    def test_empty_input(self):
+        assert count_dominators(np.zeros((0, 3))).size == 0
+
+    def test_one_dimension(self):
+        pts = np.array([[5.0], [1.0], [3.0]])
+        assert count_dominators(pts).tolist() == [2, 0, 1]
+
+    def test_rejects_1d_array(self):
+        with pytest.raises(ValueError):
+            count_dominators(np.array([1.0, 2.0]))
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            count_dominators(np.ones((2, 2)), method="magic")
+
+
+class TestEngineAgreement:
+    @given(points_strategy(min_rows=1, max_rows=60, min_dims=2, max_dims=2))
+    @settings(max_examples=50, deadline=None)
+    def test_sweep_matches_naive(self, pts):
+        assert count_dominators_sweep(pts).tolist() == brute(pts).tolist()
+
+    @given(points_strategy(min_rows=1, max_rows=60, min_dims=1, max_dims=4))
+    @settings(max_examples=50, deadline=None)
+    def test_blocked_matches_naive(self, pts):
+        assert count_dominators_blocked(pts).tolist() == brute(pts).tolist()
+
+    @given(points_strategy(min_rows=1, max_rows=60, min_dims=2, max_dims=5))
+    @settings(max_examples=50, deadline=None)
+    def test_divide_conquer_matches_naive(self, pts):
+        assert (
+            count_dominators_divide_conquer(pts).tolist() == brute(pts).tolist()
+        )
+
+    def test_all_engines_on_larger_input(self):
+        pts = np.random.default_rng(3).random((500, 3))
+        expected = count_dominators_naive(pts)
+        for method in ("blocked", "divide_conquer"):
+            assert count_dominators(pts, method=method).tolist() == expected.tolist()
+
+    def test_auto_dispatch_2d(self):
+        pts = np.random.default_rng(4).random((100, 2))
+        assert (
+            count_dominators(pts).tolist()
+            == count_dominators_naive(pts).tolist()
+        )
+
+
+class TestTiesAndEdgeCases:
+    def test_blocked_handles_ties_exactly(self):
+        pts = np.array(
+            [[1.0, 2.0], [1.0, 1.0], [2.0, 2.0], [0.5, 0.5], [1.0, 2.0]]
+        )
+        assert (
+            count_dominators_blocked(pts).tolist()
+            == count_dominators_naive(pts).tolist()
+        )
+
+    def test_divide_conquer_rejects_duplicate_columns(self):
+        pts = np.array([[1.0, 2.0], [1.0, 3.0]])
+        with pytest.raises(ValueError, match="duplicate-free"):
+            count_dominators_divide_conquer(pts)
+
+    def test_sweep_requires_two_dims(self):
+        with pytest.raises(ValueError, match="d=2"):
+            count_dominators_sweep(np.ones((3, 3)))
+
+    def test_sweep_with_tied_first_coordinate(self):
+        pts = np.array([[1.0, 1.0], [1.0, 2.0], [0.0, 0.5], [2.0, 3.0]])
+        assert (
+            count_dominators_sweep(pts).tolist()
+            == count_dominators_naive(pts).tolist()
+        )
+
+    def test_columns_duplicate_free(self):
+        assert columns_duplicate_free(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        assert not columns_duplicate_free(np.array([[1.0, 2.0], [1.0, 1.0]]))
+
+    def test_auto_falls_back_to_blocked_on_ties(self):
+        pts = np.array([[1.0, 2.0], [1.0, 3.0], [0.0, 1.0]])
+        assert (
+            count_dominators(pts).tolist()
+            == count_dominators_naive(pts).tolist()
+        )
+
+    def test_blocked_small_block_size(self):
+        pts = np.random.default_rng(6).random((64, 3))
+        assert (
+            count_dominators_blocked(pts, block_bytes=256).tolist()
+            == count_dominators_naive(pts).tolist()
+        )

@@ -1,0 +1,77 @@
+"""Tests for the Fenwick tree and coordinate compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dstruct.fenwick import FenwickTree, compress_values
+
+
+class TestFenwick:
+    def test_docstring_scenario(self):
+        ft = FenwickTree(4)
+        ft.add(2)
+        ft.add(0)
+        assert ft.prefix_count(1) == 1
+        assert ft.prefix_count(3) == 2
+
+    def test_empty_tree(self):
+        ft = FenwickTree(0)
+        assert len(ft) == 0
+        assert ft.total() == 0
+
+    def test_prefix_minus_one_is_zero(self):
+        ft = FenwickTree(3)
+        ft.add(0)
+        assert ft.prefix_count(-1) == 0
+
+    def test_rejects_out_of_range(self):
+        ft = FenwickTree(3)
+        with pytest.raises(IndexError):
+            ft.add(3)
+        with pytest.raises(IndexError):
+            ft.prefix_count(3)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+    def test_amounts(self):
+        ft = FenwickTree(5)
+        ft.add(1, amount=3)
+        ft.add(4, amount=2)
+        assert ft.prefix_count(1) == 3
+        assert ft.total() == 5
+
+    @given(st.lists(st.integers(0, 63), max_size=300), st.integers(0, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference(self, positions, q):
+        ft = FenwickTree(64)
+        for p in positions:
+            ft.add(p)
+        assert ft.prefix_count(q) == sum(1 for p in positions if p <= q)
+        assert ft.total() == len(positions)
+
+
+class TestCompression:
+    def test_preserves_order(self):
+        values = np.array([3.5, -1.0, 3.5, 7.2])
+        ranks, universe = compress_values(values)
+        assert universe == 3
+        assert ranks.tolist() == [1, 0, 1, 2]
+
+    def test_empty(self):
+        ranks, universe = compress_values(np.array([]))
+        assert universe == 0
+        assert ranks.size == 0
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=32), min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_rank_comparisons_match_value_comparisons(self, values):
+        values = np.asarray(values)
+        ranks, _ = compress_values(values)
+        i, j = 0, len(values) - 1
+        assert (values[i] < values[j]) == (ranks[i] < ranks[j])
+        assert (values[i] == values[j]) == (ranks[i] == ranks[j])

@@ -1,0 +1,175 @@
+"""Tests for the catalog and the top-k executor (all three plans)."""
+
+import numpy as np
+import pytest
+
+from repro.core.appri import appri_layers
+from repro.engine.catalog import Catalog
+from repro.engine.executor import TopKExecutor, materialize_layers
+from repro.engine.relation import Relation
+from repro.indexes.robust import RobustIndex
+from repro.queries.ranking import LinearQuery
+
+
+@pytest.fixture
+def data(rng):
+    return rng.random((60, 3))
+
+
+@pytest.fixture
+def setup(data):
+    catalog = Catalog()
+    relation = Relation.from_matrix("houses", ["price", "distance", "age"], data)
+    catalog.create_table(relation)
+    return catalog, data
+
+
+class TestCatalog:
+    def test_create_and_get(self, setup):
+        catalog, _ = setup
+        assert catalog.table("houses").n_rows == 60
+        assert catalog.table_names() == ["houses"]
+
+    def test_duplicate_table_rejected(self, setup):
+        catalog, data = setup
+        with pytest.raises(ValueError, match="exists"):
+            catalog.create_table(
+                Relation.from_matrix("houses", ["a", "b", "c"], data)
+            )
+
+    def test_unknown_table(self, setup):
+        catalog, _ = setup
+        with pytest.raises(KeyError):
+            catalog.table("nope")
+
+    def test_attach_and_get_index(self, setup):
+        catalog, data = setup
+        idx = RobustIndex(data, n_partitions=3)
+        catalog.attach_index("houses", "robust", idx)
+        assert catalog.index("houses", "robust") is idx
+        assert list(catalog.indexes_on("houses")) == ["robust"]
+
+    def test_attach_size_mismatch(self, setup):
+        catalog, _ = setup
+        small = RobustIndex(np.random.default_rng(0).random((5, 3)),
+                            n_partitions=2)
+        with pytest.raises(ValueError, match="covers"):
+            catalog.attach_index("houses", "bad", small)
+
+    def test_drop_table(self, setup):
+        catalog, _ = setup
+        catalog.drop_table("houses")
+        with pytest.raises(KeyError):
+            catalog.table("houses")
+
+
+class TestScanPlan:
+    def test_scan_matches_reference(self, setup):
+        catalog, data = setup
+        executor = TopKExecutor(catalog)
+        result = executor.execute(
+            "SELECT TOP 5 FROM houses ORDER BY 2*price + distance"
+        )
+        expected = LinearQuery([2, 1, 0]).top_k(data, 5)
+        assert result.tids.tolist() == expected.tolist()
+        assert result.plan == "scan"
+        assert result.retrieved == 60
+        assert result.rows.n_rows == 5
+
+    def test_non_monotone_order_by_scans(self, setup):
+        catalog, data = setup
+        executor = TopKExecutor(catalog)
+        result = executor.execute(
+            "SELECT TOP 4 FROM houses ORDER BY price - distance"
+        )
+        expected = LinearQuery([1, -1, 0], require_monotone=False).top_k(data, 4)
+        assert result.tids.tolist() == expected.tolist()
+
+    def test_unknown_attribute(self, setup):
+        catalog, _ = setup
+        executor = TopKExecutor(catalog)
+        with pytest.raises(KeyError, match="unknown attribute"):
+            executor.execute("SELECT TOP 1 FROM houses ORDER BY bathrooms")
+
+
+class TestIndexPlan:
+    def test_routes_to_attached_index(self, setup):
+        catalog, data = setup
+        catalog.attach_index("houses", "robust", RobustIndex(data, n_partitions=3))
+        executor = TopKExecutor(catalog)
+        result = executor.execute(
+            "SELECT TOP 5 FROM houses USING INDEX robust "
+            "ORDER BY price + distance + age"
+        )
+        expected = LinearQuery([1, 1, 1]).top_k(data, 5)
+        assert result.tids.tolist() == expected.tolist()
+        assert result.plan == "index(robust)"
+        assert result.retrieved < 60
+
+    def test_missing_index(self, setup):
+        catalog, _ = setup
+        executor = TopKExecutor(catalog)
+        with pytest.raises(KeyError, match="no index"):
+            executor.execute(
+                "SELECT TOP 5 FROM houses USING INDEX nope ORDER BY price"
+            )
+
+    def test_negative_weights_rejected_for_index(self, setup):
+        catalog, data = setup
+        catalog.attach_index("houses", "robust", RobustIndex(data, n_partitions=3))
+        executor = TopKExecutor(catalog)
+        with pytest.raises(ValueError, match="negative weights"):
+            executor.execute(
+                "SELECT TOP 5 FROM houses USING INDEX robust ORDER BY price - age"
+            )
+
+
+class TestLayerPrefixPlan:
+    """The paper's SQL integration: WHERE layer <= k."""
+
+    def test_materialize_then_query(self, setup):
+        catalog, data = setup
+        layers = appri_layers(data, n_partitions=4)
+        store = materialize_layers(catalog, "houses", layers, block_size=8)
+        executor = TopKExecutor(catalog)
+        executor.register_store("houses", store)
+        result = executor.execute(
+            "SELECT TOP 10 FROM houses WHERE layer <= 10 "
+            "ORDER BY price + 2*distance + age"
+        )
+        expected = LinearQuery([1, 2, 1]).top_k(data, 10)
+        assert result.tids.tolist() == expected.tolist()
+        assert result.retrieved == int(np.count_nonzero(layers <= 10))
+        assert result.blocks_read == store.blocks_for_prefix(result.retrieved)
+        assert result.plan.startswith("layer-prefix")
+
+    def test_layer_prefix_without_store(self, setup):
+        catalog, data = setup
+        layers = appri_layers(data, n_partitions=4)
+        materialize_layers(catalog, "houses", layers)
+        executor = TopKExecutor(catalog)
+        result = executor.execute(
+            "SELECT TOP 5 FROM houses WHERE layer <= 5 ORDER BY price"
+        )
+        expected = LinearQuery([1, 0, 0]).top_k(data, 5)
+        assert result.tids.tolist() == expected.tolist()
+
+    def test_layer_predicate_requires_column(self, setup):
+        catalog, _ = setup
+        executor = TopKExecutor(catalog)
+        with pytest.raises(KeyError, match="layer"):
+            executor.execute(
+                "SELECT TOP 5 FROM houses WHERE layer <= 5 ORDER BY price"
+            )
+
+    def test_double_materialize_rejected(self, setup):
+        catalog, data = setup
+        layers = appri_layers(data, n_partitions=3)
+        materialize_layers(catalog, "houses", layers)
+        with pytest.raises(ValueError, match="already"):
+            materialize_layers(catalog, "houses", layers)
+
+    def test_materialize_wrong_length(self, setup):
+        catalog, _ = setup
+        with pytest.raises(ValueError):
+            materialize_layers(catalog, "houses", np.ones(3, dtype=int))

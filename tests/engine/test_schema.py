@@ -1,0 +1,58 @@
+"""Tests for schemas and attributes."""
+
+import numpy as np
+import pytest
+
+from repro.engine.schema import Attribute, Schema
+
+
+class TestAttribute:
+    def test_dtype_mapping(self):
+        assert Attribute("a", "float").dtype == np.float64
+        assert Attribute("a", "int").dtype == np.int64
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="unsupported kind"):
+            Attribute("a", "text")
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ValueError):
+            Attribute("2bad")
+        with pytest.raises(ValueError):
+            Attribute("")
+
+
+class TestSchema:
+    def test_names_and_lookup(self):
+        s = Schema.of_floats("price", "distance")
+        assert s.names == ("price", "distance")
+        assert s.index_of("distance") == 1
+        assert "price" in s
+        assert "area" not in s
+        assert len(s) == 2
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema.of_floats("a", "a")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Schema([])
+
+    def test_unknown_attribute(self):
+        s = Schema.of_floats("a")
+        with pytest.raises(KeyError):
+            s.index_of("b")
+
+    def test_extended(self):
+        s = Schema.of_floats("a").extended(Attribute("layer", "int"))
+        assert s.names == ("a", "layer")
+        assert s.attribute("layer").kind == "int"
+
+    def test_equality(self):
+        assert Schema.of_floats("a", "b") == Schema.of_floats("a", "b")
+        assert Schema.of_floats("a") != Schema.of_floats("b")
+
+    def test_iteration(self):
+        s = Schema.of_floats("x", "y")
+        assert [a.name for a in s] == ["x", "y"]

@@ -1,0 +1,54 @@
+"""Additional storage-layer behaviours: repeated scans, stat windows."""
+
+import numpy as np
+import pytest
+
+from repro.engine.relation import Relation
+from repro.engine.storage import BlockStore
+
+
+@pytest.fixture
+def store(rng):
+    rel = Relation.from_matrix("t", ["a", "b"], rng.random((17, 2)))
+    return BlockStore(rel, block_size=5)
+
+
+class TestRepeatedScans:
+    def test_stats_accumulate_across_scans(self, store):
+        list(store.scan())
+        list(store.scan(limit=3))
+        assert store.stats.scans_started == 2
+        assert store.stats.tuples_read == 20
+        # ceil(17/5)=4 blocks + 1 block for the 3-tuple prefix.
+        assert store.stats.blocks_read == 5
+
+    def test_reset_between_measurements(self, store):
+        list(store.scan())
+        store.stats.reset()
+        store.read_prefix(6)
+        assert store.stats.tuples_read == 6
+        assert store.stats.blocks_read == 2
+
+    def test_partial_consumption_counts_only_touched(self, store):
+        it = store.scan()
+        for _ in range(4):
+            next(it)
+        assert store.stats.tuples_read == 4
+        assert store.stats.blocks_read == 1
+
+    def test_zero_limit(self, store):
+        assert store.read_prefix(0).size == 0
+        assert store.stats.blocks_read == 0
+
+    def test_limit_beyond_size(self, store):
+        tids = store.read_prefix(100)
+        assert tids.size == 17
+
+
+class TestEmptyRelation:
+    def test_empty_store(self):
+        rel = Relation.from_matrix("e", ["a"], np.zeros((0, 1)))
+        store = BlockStore(rel)
+        assert store.n_blocks == 0
+        assert list(store.scan()) == []
+        assert store.blocks_for_prefix(10) == 0

@@ -1,0 +1,60 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.asciiplot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_contains_legend_and_axes(self):
+        chart = ascii_chart([0, 1, 2], {"up": [0, 5, 10], "down": [10, 5, 0]})
+        assert "o=up" in chart
+        assert "x=down" in chart
+        assert "10" in chart and "0" in chart
+        assert "+" + "-" * 64 in chart
+
+    def test_monotone_series_monotone_rows(self):
+        chart = ascii_chart([0, 1], {"s": [0, 10]}, width=10, height=5)
+        body = [line for line in chart.splitlines() if "|" in line]
+        rows = [i for i, line in enumerate(body) if "o" in line]
+        # An increasing series occupies a contiguous band of rows from
+        # bottom-left to top-right.
+        assert rows == sorted(rows)
+        assert len(rows) == 5
+
+    def test_constant_series(self):
+        chart = ascii_chart([1, 2, 3], {"flat": [4, 4, 4]})
+        assert chart.count("o") >= 3
+
+    def test_single_point(self):
+        chart = ascii_chart([5], {"dot": [2]}, width=12, height=4)
+        assert "o" in chart
+
+    def test_title_and_x_label(self):
+        chart = ascii_chart([1, 2], {"a": [1, 2]}, title="T", x_label="k")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert any(line.strip() == "k" for line in lines)
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1]})
+
+    def test_rejects_too_many_series(self):
+        series = {f"s{i}": [1, 2] for i in range(9)}
+        with pytest.raises(ValueError, match="at most"):
+            ascii_chart([1, 2], series)
+
+    def test_unsorted_x_handled(self):
+        chart = ascii_chart([3, 1, 2], {"a": [9, 1, 4]})
+        assert "o" in chart
+
+    def test_figures_embed_charts(self):
+        from repro.experiments.figures import fig9
+
+        text = fig9(n=120, ks=[5, 10])["text"]
+        assert "o=PREFER" in text

@@ -1,0 +1,81 @@
+"""Smoke tests for the figure functions at tiny scale.
+
+These verify the structure of each experiment (keys, series lengths,
+the rendered text) so a benchmark-scale run cannot fail on anything
+but numbers.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+TINY_N = 150
+TINY_KS = [5, 10]
+
+
+class TestTable1:
+    def test_structure(self):
+        result = figures.table1(n=TINY_N)
+        assert result["k"] == 50
+        assert set(result["results"]) == {
+            "Real (cover3d)", "Synthetic (uniform)",
+        }
+        for per_method in result["results"].values():
+            assert set(per_method) == {"PREFER", "Onion", "Robust"}
+            for mn, mx, avg in per_method.values():
+                assert mn <= avg <= mx
+        assert "Table 1" in result["text"]
+
+
+class TestFigures:
+    def test_fig6_fig7(self):
+        result = figures.fig6_fig7(n=TINY_N, bs=[2, 4])
+        assert len(result["tuples"]) == 2
+        assert len(result["seconds"]) == 2
+        # More partitions never increases the tracked layer mass much;
+        # at minimum the output stays within [k, n].
+        assert all(0 < t <= TINY_N for t in result["tuples"])
+
+    def test_fig8(self):
+        result = figures.fig8(sizes=[80, 120])
+        assert result["sizes"] == [80, 120]
+        for series in result["series"].values():
+            assert len(series) == 2
+
+    def test_fig9(self):
+        result = figures.fig9(n=TINY_N, ks=TINY_KS)
+        assert set(result["series"]) >= {"PREFER", "Onion", "Shell", "AppRI"}
+        for series in result["series"].values():
+            assert len(series) == 2
+            assert all(v <= TINY_N for v in series)
+
+    def test_fig10(self):
+        result = figures.fig10(n=TINY_N, cs=[0.0, 0.8])
+        assert result["cs"] == [0.0, 0.8]
+        appri = result["series"]["AppRI"]
+        # Correlation creates domination: retrieval should not grow.
+        assert appri[1] <= appri[0]
+
+    def test_fig11(self):
+        result = figures.fig11(sizes=[80, 160])
+        assert all(len(s) == 2 for s in result["series"].values())
+
+    def test_fig12_fig13(self):
+        r12 = figures.fig12(n=TINY_N, ks=TINY_KS)
+        r13 = figures.fig13(n=TINY_N, ks=TINY_KS)
+        for result in (r12, r13):
+            assert set(result["series"]) == {"Shell", "PREFER", "AppRI"}
+            assert result["n"] == TINY_N
+
+    def test_fig14(self):
+        result = figures.fig14(n=TINY_N, ks=TINY_KS)
+        assert set(result["series"]) == {
+            "PREFER (1 view)", "PREFER (3 views)",
+            "AppRI (1 view)", "AppRI (3 views)",
+        }
+        # The AppRI single view is weight-independent, so the 3-view
+        # variant can only match or improve the average.
+        one = result["series"]["AppRI (1 view)"]
+        three = result["series"]["AppRI (3 views)"]
+        assert all(t <= o * 1.5 for o, t in zip(one, three))

@@ -1,0 +1,80 @@
+"""Tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (
+    INDEX_BUILDERS,
+    build_index,
+    full_scale,
+    measure_retrieval,
+    scaled,
+)
+from repro.indexes.base import QueryResult, RankedIndex
+from repro.queries.ranking import LinearQuery
+from repro.queries.workload import grid_weight_workload
+
+
+class TestScaling:
+    def test_reduced_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_scale()
+        assert scaled(10_000, 2_000) == 2_000
+
+    def test_full_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_scale()
+        assert scaled(10_000, 2_000) == 10_000
+
+
+class TestBuilders:
+    def test_all_builders_produce_working_indexes(self, rng):
+        data = rng.random((80, 3))
+        q = LinearQuery([1, 2, 1])
+        expected = q.top_k(data, 5).tolist()
+        for name in INDEX_BUILDERS:
+            index, record = build_index(name, data, n_partitions=3)
+            assert index.query(q, 5).tids.tolist() == expected, name
+            assert record.n == 80
+            assert record.seconds >= 0
+
+    def test_unknown_builder(self, rng):
+        with pytest.raises(KeyError):
+            build_index("BTree", rng.random((5, 2)))
+
+    def test_appri_plus_is_labeled(self, rng):
+        index, record = build_index("AppRI+", rng.random((40, 3)),
+                                    n_partitions=3)
+        assert index.name == "AppRI+"
+        assert record.info["systems"] == "families"
+
+
+class TestMeasurement:
+    def test_stats_aggregate(self, rng):
+        data = rng.random((60, 3))
+        index, _ = build_index("Shell", data)
+        queries = grid_weight_workload(3, 6, seed=0)
+        stats = measure_retrieval(index, queries, 5)
+        assert stats.correct
+        assert stats.min <= stats.avg <= stats.max
+        assert len(stats.per_query) == 6
+        assert stats.index_name == "Shell"
+
+    def test_incorrect_answers_flagged(self, rng):
+        data = rng.random((30, 2))
+
+        class BrokenIndex(RankedIndex):
+            name = "Broken"
+
+            def query(self, query, k):
+                return QueryResult(np.arange(k), retrieved=k)
+
+        stats = measure_retrieval(
+            BrokenIndex(data), grid_weight_workload(2, 3, seed=1), 4
+        )
+        assert not stats.correct
+
+    def test_empty_workload_rejected(self, rng):
+        index, _ = build_index("Scan", rng.random((10, 2)))
+        with pytest.raises(ValueError):
+            measure_retrieval(index, [], 3)

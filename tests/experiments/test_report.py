@@ -1,0 +1,51 @@
+"""Tests for the plain-text report rendering."""
+
+import pytest
+
+from repro.experiments.report import format_number, render_series, render_table
+
+
+class TestFormatNumber:
+    def test_ints_plain(self):
+        assert format_number(42) == "42"
+
+    def test_floats_one_decimal(self):
+        assert format_number(3.14159) == "3.1"
+
+    def test_whole_floats_collapse(self):
+        assert format_number(5.0) == "5"
+
+    def test_small_floats_more_precision(self):
+        assert format_number(0.1234) == "0.123"
+
+    def test_nan(self):
+        assert format_number(float("nan")) == "-"
+
+    def test_strings_pass_through(self):
+        assert format_number("AppRI") == "AppRI"
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["a", "bbb"], [[1, 2], [33, 444]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1].strip()) <= {"-", " "}
+        # Fixed-width: every line has the same total length.
+        assert len({len(line) for line in lines}) == 1
+        assert "444" in lines[3]
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderSeries:
+    def test_title_and_columns(self):
+        text = render_series(
+            "Figure X", "k", [1, 2], {"AppRI": [10, 20], "Shell": [30, 40]}
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Figure X"
+        assert "AppRI" in lines[1] and "Shell" in lines[1]
+        assert "10" in lines[3] and "40" in lines[4]

@@ -1,0 +1,71 @@
+"""Tests for the generic parameter-sweep utility."""
+
+import pytest
+
+from repro.experiments.sweeps import SweepRecord, pivot, sweep
+
+
+class TestSweep:
+    def test_rectangular_records(self):
+        records = sweep(
+            methods=["Shell", "Scan"],
+            n_values=[100, 200],
+            c_values=[0.0, 0.5],
+            b_values=[4],
+            k=10,
+            n_queries=3,
+        )
+        assert len(records) == 2 * 2 * 1 * 2
+        assert all(r.correct for r in records)
+        assert all(r.k == 10 for r in records)
+
+    def test_scan_cost_equals_n(self):
+        records = sweep(methods=["Scan"], n_values=[150], k=5, n_queries=2)
+        assert records[0].avg_retrieved == 150
+        assert records[0].max_retrieved == 150
+
+    def test_rejects_empty_methods(self):
+        with pytest.raises(ValueError):
+            sweep(methods=[])
+
+    def test_appri_b_axis_changes_results(self):
+        records = sweep(
+            methods=["AppRI"], n_values=[200], c_values=[0.0],
+            b_values=[2, 10], k=20, n_queries=2,
+        )
+        small_b = next(r for r in records if r.params["B"] == 2)
+        large_b = next(r for r in records if r.params["B"] == 10)
+        assert large_b.avg_retrieved <= small_b.avg_retrieved
+
+
+class TestPivot:
+    def make_records(self):
+        return [
+            SweepRecord({"n": 100, "c": c}, m, 10, avg, avg + 1, 0.0, True)
+            for c, m, avg in [
+                (0.0, "A", 10.0), (0.0, "B", 20.0),
+                (0.5, "A", 5.0), (0.5, "B", 25.0),
+            ]
+        ]
+
+    def test_pivot_shapes_series(self):
+        xs, series = pivot(self.make_records(), "c")
+        assert xs == [0.0, 0.5]
+        assert series == {"A": [10.0, 5.0], "B": [20.0, 25.0]}
+
+    def test_pivot_other_value(self):
+        xs, series = pivot(self.make_records(), "c", value="max_retrieved")
+        assert series["A"] == [11.0, 6.0]
+
+    def test_pivot_missing_cell(self):
+        records = self.make_records()[:3]
+        with pytest.raises(ValueError, match="no record"):
+            pivot(records, "c")
+
+    def test_pivot_averages_collapsed_axes(self):
+        records = [
+            SweepRecord({"c": 0.0, "B": 2}, "A", 10, 10.0, 10, 0.0, True),
+            SweepRecord({"c": 0.0, "B": 4}, "A", 10, 20.0, 20, 0.0, True),
+        ]
+        xs, series = pivot(records, "c")
+        assert series["A"] == [15.0]

@@ -1,0 +1,168 @@
+"""Tests for convex hulls and shells."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.convex import (
+    hull_vertices,
+    lower_left_staircase_2d,
+    shell_vertices,
+)
+
+from ..conftest import points_strategy
+
+
+def monotone_minimizers(pts, n_weights=400, seed=0):
+    """Tids that uniquely minimize some sampled non-negative weight."""
+    rng = np.random.default_rng(seed)
+    weights = np.vstack([rng.dirichlet(np.ones(pts.shape[1]), n_weights),
+                         np.eye(pts.shape[1])])
+    winners = set()
+    for w in weights:
+        scores = pts @ w
+        best = np.flatnonzero(scores == scores.min())
+        if best.size == 1:
+            winners.add(int(best[0]))
+    return winners
+
+
+class TestHull:
+    def test_square_corners(self):
+        pts = np.array([[0, 0], [0, 1], [1, 0], [1, 1], [0.5, 0.5]], dtype=float)
+        assert hull_vertices(pts).tolist() == [0, 1, 2, 3]
+
+    def test_tiny_inputs_are_all_vertices(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert hull_vertices(pts).tolist() == [0, 1]
+
+    def test_one_dimension(self):
+        pts = np.array([[3.0], [1.0], [2.0], [5.0]])
+        assert sorted(hull_vertices(pts).tolist()) == [1, 3]
+
+    def test_collinear_fallback_is_sound(self):
+        # Qhull rejects degenerate input; the fallback must keep the
+        # extreme points (here: everything).
+        pts = np.array([[i, i, i] for i in range(10)], dtype=float)
+        pts += 0  # exactly collinear in 3-D
+        vertices = set(hull_vertices(pts).tolist())
+        assert 0 in vertices and 9 in vertices
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            hull_vertices(np.ones(5))
+
+    @given(points_strategy(min_rows=6, max_rows=50, min_dims=2, max_dims=3))
+    @settings(max_examples=30, deadline=None)
+    def test_every_linear_minimizer_is_a_hull_vertex(self, pts):
+        vertices = set(hull_vertices(pts).tolist())
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            w = rng.normal(size=pts.shape[1])
+            scores = pts @ w
+            best = np.flatnonzero(scores == scores.min())
+            if best.size == 1:
+                assert int(best[0]) in vertices
+
+
+class TestShell:
+    def test_simple_staircase(self):
+        pts = np.array([[0.0, 3.0], [1.0, 1.0], [3.0, 0.0], [2.5, 2.5]])
+        assert shell_vertices(pts).tolist() == [0, 1, 2]
+
+    def test_dominated_point_excluded(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert shell_vertices(pts).tolist() == [0]
+
+    def test_collinear_middle_point_excluded(self):
+        pts = np.array([[0.0, 2.0], [1.0, 1.0], [2.0, 0.0]])
+        # The middle point never *uniquely* minimizes; the chain drops it.
+        assert shell_vertices(pts).tolist() == [0, 2]
+
+    def test_one_dimension(self):
+        pts = np.array([[4.0], [2.0], [9.0]])
+        assert shell_vertices(pts).tolist() == [1]
+
+    def test_identical_points(self):
+        pts = np.tile([[1.0, 2.0, 3.0]], (5, 1))
+        assert shell_vertices(pts).size == 5  # safe over-approximation
+
+    @given(points_strategy(min_rows=5, max_rows=60, min_dims=2, max_dims=3))
+    @settings(max_examples=30, deadline=None)
+    def test_shell_contains_all_monotone_minimizers(self, pts):
+        shell = set(shell_vertices(pts).tolist())
+        assert monotone_minimizers(pts, n_weights=100) <= shell
+
+    @given(points_strategy(min_rows=5, max_rows=60, min_dims=2, max_dims=3))
+    @settings(max_examples=30, deadline=None)
+    def test_shell_is_subset_of_hull(self, pts):
+        assert set(shell_vertices(pts).tolist()) <= set(
+            hull_vertices(pts).tolist()
+        )
+
+    @given(points_strategy(min_rows=5, max_rows=60, min_dims=2, max_dims=3))
+    @settings(max_examples=30, deadline=None)
+    def test_min_over_all_attained_on_shell(self, pts):
+        """The layered-query stop rule's foundation."""
+        shell = shell_vertices(pts)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            w = rng.dirichlet(np.ones(pts.shape[1]))
+            assert (pts[shell] @ w).min() == pytest.approx((pts @ w).min())
+
+
+class TestStaircase2D:
+    def test_matches_shell_on_random_data(self):
+        pts = np.random.default_rng(2).random((200, 2))
+        assert lower_left_staircase_2d(pts).tolist() == shell_vertices(pts).tolist()
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            lower_left_staircase_2d(np.ones((4, 3)))
+
+    def test_empty(self):
+        assert lower_left_staircase_2d(np.zeros((0, 2))).size == 0
+
+    def test_single_point(self):
+        assert lower_left_staircase_2d(np.array([[1.0, 2.0]])).tolist() == [0]
+
+    def test_minimizers_property_exact(self):
+        pts = np.random.default_rng(3).random((120, 2))
+        chain = set(lower_left_staircase_2d(pts).tolist())
+        assert monotone_minimizers(pts, n_weights=500) <= chain
+
+
+class TestColumnNormalization:
+    """Extreme attribute scales must not destabilize the geometry."""
+
+    def test_shell_with_mixed_scales(self):
+        rng = np.random.default_rng(21)
+        base = rng.random((150, 3))
+        scaled = base * np.array([1e-8, 1.0, 1e8])
+        assert shell_vertices(scaled).tolist() == shell_vertices(base).tolist()
+
+    def test_hull_with_mixed_scales(self):
+        rng = np.random.default_rng(22)
+        base = rng.random((150, 3))
+        scaled = base * np.array([1e-6, 1e6, 1.0])
+        assert hull_vertices(scaled).tolist() == hull_vertices(base).tolist()
+
+    def test_staircase_with_offsets(self):
+        # Offsets within float64 resolution of the column ranges (a
+        # 1e-9-wide column shifted by 5e6 would be quantized away at
+        # input construction, before the library ever sees it).
+        rng = np.random.default_rng(23)
+        base = rng.random((100, 2))
+        shifted = base * np.array([1e-3, 1e6]) + np.array([50.0, -3e7])
+        assert (
+            lower_left_staircase_2d(shifted).tolist()
+            == lower_left_staircase_2d(base).tolist()
+        )
+
+    def test_constant_column(self):
+        rng = np.random.default_rng(24)
+        pts = np.column_stack([rng.random(50), np.full(50, 7.0)])
+        shell = shell_vertices(pts)
+        # Only the min of the varying attribute can uniquely minimize.
+        assert shell.tolist() == [int(np.argmin(pts[:, 0]))]

@@ -1,0 +1,49 @@
+"""Tests for hyperplane helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.halfspace import Hyperplane, facet_sees_origin
+
+
+class TestHyperplane:
+    def test_side_signs(self):
+        h = Hyperplane([1.0, 0.0], -1.0)  # x = 1
+        assert h.side(np.array([[0.0, 5.0]]))[0] < 0
+        assert h.side(np.array([[2.0, -3.0]]))[0] > 0
+        assert h.side(np.array([[1.0, 9.0]]))[0] == pytest.approx(0.0)
+
+    def test_normalization(self):
+        h = Hyperplane([3.0, 4.0], 10.0)
+        assert np.linalg.norm(h.normal) == pytest.approx(1.0)
+        assert h.offset == pytest.approx(2.0)
+
+    def test_rejects_zero_normal(self):
+        with pytest.raises(ValueError):
+            Hyperplane([0.0, 0.0], 1.0)
+
+    def test_rejects_matrix_normal(self):
+        with pytest.raises(ValueError):
+            Hyperplane([[1.0, 0.0]], 0.0)
+
+    def test_through_points_2d(self):
+        h = Hyperplane.through_points_2d([0.0, 0.0], [1.0, 1.0])
+        assert h.side(np.array([[2.0, 2.0]]))[0] == pytest.approx(0.0)
+        above = h.side(np.array([[0.0, 1.0]]))[0]
+        below = h.side(np.array([[1.0, 0.0]]))[0]
+        assert above * below < 0  # opposite sides
+
+    def test_through_identical_points_rejected(self):
+        with pytest.raises(ValueError):
+            Hyperplane.through_points_2d([1.0, 2.0], [1.0, 2.0])
+
+
+class TestFacetVisibility:
+    def test_all_negative_normal_is_visible(self):
+        assert facet_sees_origin(np.array([-0.6, -0.8, 1.0]))
+
+    def test_zero_components_allowed(self):
+        assert facet_sees_origin(np.array([-1.0, 0.0, 0.5]))
+
+    def test_positive_component_is_not_visible(self):
+        assert not facet_sees_origin(np.array([-0.6, 0.8, 1.0]))

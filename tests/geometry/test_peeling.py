@@ -1,0 +1,66 @@
+"""Tests for layer peeling and its lower-bound property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.exact import exact_robust_layers
+from repro.geometry.peeling import (
+    hull_peel_layers,
+    peel_layers,
+    shell_peel_layers,
+)
+
+from ..conftest import points_strategy
+
+
+class TestPeelMechanics:
+    def test_every_tuple_assigned(self, small_2d):
+        layers = shell_peel_layers(small_2d)
+        assert layers.shape == (80,)
+        assert layers.min() == 1
+
+    def test_layers_are_contiguous(self, small_2d):
+        layers = hull_peel_layers(small_2d)
+        present = np.unique(layers)
+        assert present.tolist() == list(range(1, int(layers.max()) + 1))
+
+    def test_empty(self):
+        assert shell_peel_layers(np.zeros((0, 2))).size == 0
+
+    def test_single_point(self):
+        assert shell_peel_layers(np.array([[0.5, 0.5]])).tolist() == [1]
+
+    def test_extractor_must_make_progress(self):
+        pts = np.random.default_rng(0).random((6, 2))
+        calls = []
+
+        def extractor(p):
+            calls.append(len(p))
+            return np.arange(len(p))  # take everything at once
+
+        assert peel_layers(pts, extractor).tolist() == [1] * 6
+        assert calls == [6]
+
+
+class TestLowerBoundProperty:
+    """Peeling depth never exceeds the exact robust layer."""
+
+    @given(points_strategy(min_rows=2, max_rows=30, min_dims=2, max_dims=2))
+    @settings(max_examples=20, deadline=None)
+    def test_shell_depth_below_minimal_rank_2d(self, pts):
+        exact = exact_robust_layers(pts)
+        shell = shell_peel_layers(pts)
+        assert np.all(shell <= exact)
+
+    @given(points_strategy(min_rows=2, max_rows=18, min_dims=3, max_dims=3))
+    @settings(max_examples=10, deadline=None)
+    def test_shell_depth_below_minimal_rank_3d(self, pts):
+        exact = exact_robust_layers(pts)
+        shell = shell_peel_layers(pts)
+        assert np.all(shell <= exact)
+
+    @given(points_strategy(min_rows=2, max_rows=30, min_dims=2, max_dims=3))
+    @settings(max_examples=15, deadline=None)
+    def test_hull_no_deeper_than_shell(self, pts):
+        assert np.all(hull_peel_layers(pts) <= shell_peel_layers(pts))

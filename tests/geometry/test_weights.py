@@ -1,0 +1,92 @@
+"""Tests for weight-simplex utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.weights import (
+    gamma_levels,
+    normalize_weights,
+    sample_simplex,
+    simplex_corners,
+    simplex_grid,
+)
+
+
+class TestNormalize:
+    def test_sums_to_one(self):
+        w = normalize_weights([2.0, 6.0])
+        assert w.tolist() == [0.25, 0.75]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalize_weights([1.0, -1.0])
+
+    def test_rejects_zero_vector(self):
+        with pytest.raises(ValueError):
+            normalize_weights([0.0, 0.0])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            normalize_weights([[1.0]])
+
+
+class TestCorners:
+    def test_identity(self):
+        assert np.array_equal(simplex_corners(3), np.eye(3))
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            simplex_corners(0)
+
+
+class TestGrid:
+    def test_count_matches_stars_and_bars(self):
+        grid = simplex_grid(3, 4)
+        # C(4 + 2, 2) = 15 compositions.
+        assert grid.shape == (15, 3)
+
+    def test_rows_on_simplex(self):
+        grid = simplex_grid(2, 5)
+        assert np.allclose(grid.sum(axis=1), 1.0)
+        assert np.all(grid >= 0)
+
+    def test_rejects_zero_resolution(self):
+        with pytest.raises(ValueError):
+            simplex_grid(2, 0)
+
+
+class TestSampling:
+    def test_on_simplex(self):
+        samples = sample_simplex(4, 50, seed=0)
+        assert samples.shape == (50, 4)
+        assert np.allclose(samples.sum(axis=1), 1.0)
+        assert np.all(samples >= 0)
+
+    def test_deterministic(self):
+        a = sample_simplex(3, 10, seed=1)
+        b = sample_simplex(3, 10, seed=1)
+        assert np.array_equal(a, b)
+
+
+class TestGammaLevels:
+    def test_count(self):
+        assert gamma_levels(10).shape == (9,)
+
+    def test_single_partition_is_empty(self):
+        assert gamma_levels(1).size == 0
+
+    def test_strictly_increasing_and_positive(self):
+        g = gamma_levels(12)
+        assert np.all(g > 0)
+        assert np.all(np.diff(g) > 0)
+
+    def test_symmetric_in_angle(self):
+        # tan grid: gamma_p * gamma_{B-p} = 1 (angles mirror at 45 deg).
+        g = gamma_levels(8)
+        assert np.allclose(g * g[::-1], 1.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            gamma_levels(0)

@@ -1,0 +1,55 @@
+"""Tests for the shared index interface."""
+
+import numpy as np
+import pytest
+
+from repro.indexes.base import QueryResult, RankedIndex, rank_candidates
+from repro.indexes.linear_scan import LinearScanIndex
+from repro.queries.ranking import LinearQuery
+
+
+class TestQueryResult:
+    def test_tids_coerced_to_array(self):
+        r = QueryResult([3, 1], retrieved=5)
+        assert isinstance(r.tids, np.ndarray)
+        assert r.tids.tolist() == [3, 1]
+
+    def test_defaults(self):
+        r = QueryResult(np.array([0]), retrieved=1)
+        assert r.layers_scanned == 0
+        assert r.extra == {}
+
+
+class TestRankedIndexValidation:
+    def test_rejects_1d_points(self):
+        with pytest.raises(ValueError):
+            LinearScanIndex(np.ones(4))
+
+    def test_query_dimension_mismatch(self):
+        idx = LinearScanIndex(np.ones((4, 2)))
+        with pytest.raises(ValueError, match="weights"):
+            idx.query(LinearQuery([1, 1, 1]), 2)
+
+    def test_negative_k(self):
+        idx = LinearScanIndex(np.ones((4, 2)))
+        with pytest.raises(ValueError, match="k"):
+            idx.query(LinearQuery([1, 1]), -1)
+
+    def test_size_and_dimensions(self):
+        idx = LinearScanIndex(np.ones((4, 2)))
+        assert idx.size == 4
+        assert idx.dimensions == 2
+
+
+class TestRankCandidates:
+    def test_exact_order_with_tid_ties(self):
+        pts = np.array([[1.0, 1.0], [0.5, 1.5], [2.0, 0.0]])
+        q = LinearQuery([1, 1])  # all tie at 2.0
+        out = rank_candidates(pts, np.array([2, 0, 1]), q, 3)
+        assert out.tolist() == [0, 1, 2]
+
+    def test_subset_of_candidates(self):
+        pts = np.array([[3.0], [1.0], [2.0]])
+        q = LinearQuery([1.0])
+        out = rank_candidates(pts, np.array([0, 2]), q, 1)
+        assert out.tolist() == [2]

@@ -1,0 +1,63 @@
+"""Tests for the batch-query API."""
+
+import numpy as np
+import pytest
+
+from repro.indexes.linear_scan import LinearScanIndex
+from repro.indexes.onion import ShellIndex
+from repro.indexes.robust import RobustIndex
+from repro.queries.ranking import LinearQuery
+from repro.queries.workload import grid_weight_workload, simplex_workload
+
+
+class TestBatchDefault:
+    def test_loop_default_matches_single(self, small_3d):
+        index = ShellIndex(small_3d)
+        queries = simplex_workload(3, 6, seed=0)
+        batch = index.query_batch(queries, 8)
+        for q, result in zip(queries, batch):
+            single = index.query(q, 8)
+            assert result.tids.tolist() == single.tids.tolist()
+            assert result.retrieved == single.retrieved
+
+
+class TestRobustBatch:
+    def test_vectorized_matches_single(self, small_3d):
+        index = RobustIndex(small_3d, n_partitions=5)
+        queries = grid_weight_workload(3, 12, seed=1)
+        batch = index.query_batch(queries, 10)
+        assert len(batch) == 12
+        for q, result in zip(queries, batch):
+            single = index.query(q, 10)
+            assert result.tids.tolist() == single.tids.tolist()
+            assert result.retrieved == single.retrieved
+            assert result.layers_scanned == single.layers_scanned
+
+    def test_matches_scan_answers(self, small_3d):
+        index = RobustIndex(small_3d, n_partitions=4)
+        scan = LinearScanIndex(small_3d)
+        queries = simplex_workload(3, 8, seed=2)
+        for q, result in zip(queries, index.query_batch(queries, 15)):
+            assert result.tids.tolist() == scan.query(q, 15).tids.tolist()
+
+    def test_empty_batch(self, small_2d):
+        assert RobustIndex(small_2d, n_partitions=3).query_batch([], 5) == []
+
+    def test_k_zero_batch(self, small_2d):
+        index = RobustIndex(small_2d, n_partitions=3)
+        results = index.query_batch([LinearQuery([1, 1])], 0)
+        assert results[0].tids.size == 0
+        assert results[0].retrieved == 0
+
+    def test_tie_behaviour_preserved(self):
+        pts = np.array([[1.0, 2.0], [2.0, 1.0], [0.5, 2.5], [2.5, 0.5]])
+        index = RobustIndex(pts, n_partitions=3)
+        q = LinearQuery([1, 1])  # global score ties
+        batch = index.query_batch([q, q], 3)
+        assert batch[0].tids.tolist() == q.top_k(pts, 3).tolist()
+        assert batch[1].tids.tolist() == batch[0].tids.tolist()
+
+    def test_dimension_mismatch_raises(self, small_2d):
+        index = RobustIndex(small_2d, n_partitions=3)
+        with pytest.raises(ValueError):
+            index.query_batch([LinearQuery([1, 2, 3])], 4)

@@ -1,0 +1,107 @@
+"""Tests for progressive top-k cursors."""
+
+import numpy as np
+import pytest
+
+from repro.indexes.cursor import RankedCursor
+from repro.indexes.linear_scan import LinearScanIndex
+from repro.indexes.onion import ShellIndex
+from repro.indexes.robust import RobustIndex
+from repro.queries.ranking import LinearQuery
+
+
+@pytest.fixture
+def data(rng):
+    return rng.random((100, 3))
+
+
+class TestCursor:
+    def test_streams_full_ranking(self, data):
+        q = LinearQuery([1, 2, 1])
+        cursor = RankedCursor(RobustIndex(data, n_partitions=4), q)
+        collected = []
+        while not cursor.exhausted:
+            collected.extend(cursor.fetch(7).tolist())
+        assert collected == q.top_k(data, 100).tolist()
+
+    def test_batches_are_disjoint_and_ordered(self, data):
+        q = LinearQuery([2, 1, 3])
+        cursor = RankedCursor(ShellIndex(data), q)
+        a = cursor.fetch(10)
+        b = cursor.fetch(10)
+        assert set(a.tolist()).isdisjoint(b.tolist())
+        assert (a.tolist() + b.tolist()) == q.top_k(data, 20).tolist()
+
+    def test_retrieved_grows_monotonically(self, data):
+        cursor = RankedCursor(
+            RobustIndex(data, n_partitions=4), LinearQuery([1, 1, 1])
+        )
+        seen = []
+        for _ in range(5):
+            cursor.fetch(5)
+            seen.append(cursor.retrieved)
+        assert seen == sorted(seen)
+        assert seen[0] >= 5
+
+    def test_overfetch_past_end(self, data):
+        cursor = RankedCursor(LinearScanIndex(data), LinearQuery([1, 0, 0]))
+        batch = cursor.fetch(1000)
+        assert batch.size == 100
+        assert cursor.exhausted
+        assert cursor.fetch(5).size == 0
+
+    def test_fetch_zero(self, data):
+        cursor = RankedCursor(LinearScanIndex(data), LinearQuery([1, 1, 1]))
+        assert cursor.fetch(0).size == 0
+        assert cursor.position == 0
+
+    def test_fetch_all(self, data):
+        q = LinearQuery([1, 3, 1])
+        cursor = RankedCursor(LinearScanIndex(data), q)
+        cursor.fetch(4)
+        rest = cursor.fetch_all()
+        assert rest.size == 96
+        assert cursor.exhausted
+
+    def test_negative_count_rejected(self, data):
+        cursor = RankedCursor(LinearScanIndex(data), LinearQuery([1, 1, 1]))
+        with pytest.raises(ValueError):
+            cursor.fetch(-1)
+
+    def test_dimension_mismatch(self, data):
+        with pytest.raises(ValueError):
+            RankedCursor(LinearScanIndex(data), LinearQuery([1, 1]))
+
+
+class TestWorkloadExtensions:
+    def test_skewed_workload_concentrates(self):
+        from repro.queries.workload import skewed_workload
+
+        queries = skewed_workload(3, 200, concentration=0.1, seed=0)
+        max_weights = np.array([q.weights.max() for q in queries])
+        assert (max_weights > 0.8).mean() > 0.5
+
+    def test_skewed_rejects_bad_concentration(self):
+        from repro.queries.workload import skewed_workload
+
+        with pytest.raises(ValueError):
+            skewed_workload(3, 5, concentration=0.0)
+
+    def test_focused_workload_stays_near_center(self):
+        from repro.queries.workload import focused_workload
+
+        center = [2.0, 1.0, 1.0]
+        queries = focused_workload(3, 50, center, spread=0.02, seed=1)
+        base = np.asarray(center) / 4.0
+        for q in queries:
+            assert np.abs(q.weights - base).max() < 0.15
+
+    def test_focused_validates_center(self):
+        from repro.queries.workload import focused_workload
+
+        with pytest.raises(ValueError):
+            focused_workload(3, 5, [1.0, 1.0])
+        with pytest.raises(ValueError):
+            focused_workload(2, 5, [0.0, 0.0])
+        with pytest.raises(ValueError):
+            focused_workload(2, 5, [1.0, 1.0], spread=-1)

@@ -1,0 +1,28 @@
+"""Tests for the full-scan baseline."""
+
+import numpy as np
+
+from repro.indexes.linear_scan import LinearScanIndex
+from repro.queries.ranking import LinearQuery
+
+
+class TestLinearScan:
+    def test_always_reads_everything(self, small_2d):
+        idx = LinearScanIndex(small_2d)
+        res = idx.query(LinearQuery([1, 1]), 3)
+        assert res.retrieved == 80
+        assert res.layers_scanned == 0
+
+    def test_answer_is_exact_top_k(self, small_2d):
+        idx = LinearScanIndex(small_2d)
+        q = LinearQuery([2, 5])
+        assert idx.query(q, 7).tids.tolist() == q.top_k(small_2d, 7).tolist()
+
+    def test_empty_relation(self):
+        idx = LinearScanIndex(np.zeros((0, 2)))
+        res = idx.query(LinearQuery([1, 1]), 5)
+        assert res.tids.size == 0
+        assert res.retrieved == 0
+
+    def test_build_info(self, small_2d):
+        assert LinearScanIndex(small_2d).build_info() == {"method": "scan"}

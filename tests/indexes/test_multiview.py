@@ -1,0 +1,105 @@
+"""Tests for multi-view PREFER and AppRI (paper Section 6.4)."""
+
+import numpy as np
+import pytest
+
+from repro.indexes.linear_scan import LinearScanIndex
+from repro.indexes.multiview import (
+    PreferMultiView,
+    RobustMultiView,
+    default_prefer_seeds,
+)
+from repro.queries.ranking import LinearQuery
+from repro.queries.workload import grid_weight_workload, simplex_workload
+
+
+class TestSeeds:
+    def test_single_view_is_center(self):
+        seeds = default_prefer_seeds(3, 1)
+        assert np.allclose(seeds, [[1 / 3, 1 / 3, 1 / 3]])
+
+    def test_three_views_for_three_dims(self):
+        seeds = default_prefer_seeds(3, 3)
+        assert seeds.shape == (3, 3)
+        assert np.allclose(seeds.sum(axis=1), 1.0)
+
+    def test_rejects_zero_views(self):
+        with pytest.raises(ValueError):
+            default_prefer_seeds(3, 0)
+
+
+class TestPreferMultiView:
+    def test_matches_full_scan(self, small_3d):
+        idx = PreferMultiView(small_3d, n_views=3)
+        scan = LinearScanIndex(small_3d)
+        for q in grid_weight_workload(3, 12, seed=0):
+            assert (
+                idx.query(q, 8).tids.tolist() == scan.query(q, 8).tids.tolist()
+            )
+
+    def test_routing_picks_closest_view(self, small_3d):
+        seeds = np.array([[0.8, 0.1, 0.1], [0.1, 0.8, 0.1], [0.1, 0.1, 0.8]])
+        idx = PreferMultiView(small_3d, seeds=seeds)
+        assert idx.route(LinearQuery([10, 1, 1])) == 0
+        assert idx.route(LinearQuery([1, 10, 1])) == 1
+        assert idx.route(LinearQuery([1, 1, 10])) == 2
+
+    def test_more_views_help_skewed_queries(self, rng):
+        pts = rng.random((800, 3))
+        one = PreferMultiView(pts, n_views=1)
+        three = PreferMultiView(
+            pts,
+            seeds=np.array(
+                [[0.6, 0.2, 0.2], [0.2, 0.6, 0.2], [0.2, 0.2, 0.6]]
+            ),
+        )
+        skewed = [LinearQuery(w) for w in ([4, 1, 1], [1, 4, 1], [1, 1, 4])]
+        cost_one = sum(one.query(q, 10).retrieved for q in skewed)
+        cost_three = sum(three.query(q, 10).retrieved for q in skewed)
+        assert cost_three <= cost_one
+
+    def test_n_views_property(self, small_3d):
+        assert PreferMultiView(small_3d, n_views=3).n_views == 3
+
+
+class TestRobustMultiView:
+    def test_matches_full_scan(self, small_3d):
+        idx = RobustMultiView(small_3d, n_partitions=4)
+        scan = LinearScanIndex(small_3d)
+        for q in grid_weight_workload(3, 12, seed=1):
+            assert (
+                idx.query(q, 8).tids.tolist() == scan.query(q, 8).tids.tolist()
+            )
+
+    def test_routing_rewrite_preserves_scores(self, small_3d):
+        idx = RobustMultiView(small_3d, n_partitions=3)
+        q = LinearQuery([3.0, 1.0, 2.0])
+        m, rewritten = idx.route(q)
+        assert m == 1  # the minimum weight
+        transformed = small_3d.copy()
+        transformed[:, m] = small_3d.sum(axis=1)
+        assert np.allclose(
+            transformed @ rewritten.weights, small_3d @ q.weights
+        )
+
+    def test_rewritten_weights_are_monotone(self, small_3d):
+        idx = RobustMultiView(small_3d, n_partitions=3)
+        for q in grid_weight_workload(3, 10, seed=2):
+            _, rewritten = idx.route(q)
+            assert rewritten.is_monotone
+
+    def test_equal_weights_route_cleanly(self, small_3d):
+        idx = RobustMultiView(small_3d, n_partitions=3)
+        q = LinearQuery([2.0, 2.0, 2.0])
+        assert (
+            idx.query(q, 5).tids.tolist() == q.top_k(small_3d, 5).tolist()
+        )
+
+    def test_one_view_per_dimension(self, small_3d):
+        assert RobustMultiView(small_3d, n_partitions=3).n_views == 3
+
+    def test_k_zero(self, small_3d):
+        res = RobustMultiView(small_3d, n_partitions=3).query(
+            LinearQuery([1, 2, 3]), 0
+        )
+        assert res.tids.size == 0

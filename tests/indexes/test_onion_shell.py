@@ -1,0 +1,131 @@
+"""Tests for the Onion and Shell layered indexes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.peeling import peel_layers
+from repro.indexes.linear_scan import LinearScanIndex
+from repro.indexes.onion import OnionIndex, ShellIndex
+from repro.queries.ranking import LinearQuery
+from repro.queries.workload import corner_workload, simplex_workload
+
+from ..conftest import points_strategy
+
+
+class TestPeeling:
+    def test_layers_cover_all_tuples(self, small_2d):
+        idx = OnionIndex(small_2d)
+        assert idx.layers.min() == 1
+        assert idx.layers.shape == (80,)
+
+    def test_square_with_center(self):
+        pts = np.array(
+            [[0, 0], [0, 1], [1, 0], [1, 1], [0.5, 0.5]], dtype=float
+        )
+        assert OnionIndex(pts).layers.tolist() == [1, 1, 1, 1, 2]
+
+    def test_shell_layers_at_least_hull_layers(self, small_2d):
+        """Shells are partial hulls, so shell peeling is deeper."""
+        onion = OnionIndex(small_2d).layers
+        shell = ShellIndex(small_2d).layers
+        assert np.all(shell >= onion)
+
+    def test_peel_layers_custom_extractor(self):
+        pts = np.arange(10, dtype=float).reshape(-1, 1) @ np.ones((1, 2))
+        layers = peel_layers(pts, lambda p: np.array([0]))
+        # Extracting one point at a time yields n singleton layers.
+        assert sorted(layers.tolist()) == list(range(1, 11))
+
+    def test_peel_layers_empty_extraction_closes(self):
+        pts = np.random.default_rng(0).random((5, 2))
+        layers = peel_layers(pts, lambda p: np.array([], dtype=int))
+        assert layers.tolist() == [1, 1, 1, 1, 1]
+
+    def test_empty_input(self):
+        assert OnionIndex(np.zeros((0, 2))).layers.size == 0
+
+
+class TestLayerMinimumMonotonicity:
+    """min score within layer c is non-decreasing in c (the stop rule)."""
+
+    @given(points_strategy(min_rows=10, max_rows=60, min_dims=2, max_dims=3),
+           st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_onion_any_linear_direction(self, pts, seed):
+        layers = OnionIndex(pts).layers
+        w = np.random.default_rng(seed).normal(size=pts.shape[1])
+        scores = pts @ w
+        mins = [
+            scores[layers == c].min() for c in range(1, layers.max() + 1)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(mins, mins[1:]))
+
+    @given(points_strategy(min_rows=10, max_rows=60, min_dims=2, max_dims=3),
+           st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_shell_monotone_direction(self, pts, seed):
+        layers = ShellIndex(pts).layers
+        w = np.random.default_rng(seed).dirichlet(np.ones(pts.shape[1]))
+        scores = pts @ w
+        mins = [
+            scores[layers == c].min() for c in range(1, layers.max() + 1)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(mins, mins[1:]))
+
+
+class TestQueryCorrectness:
+    @pytest.mark.parametrize("cls", [OnionIndex, ShellIndex])
+    def test_matches_full_scan(self, cls, small_3d):
+        idx = cls(small_3d)
+        scan = LinearScanIndex(small_3d)
+        for q in simplex_workload(3, 15, seed=0) + corner_workload(3):
+            for k in (1, 5, 20, 60):
+                assert (
+                    idx.query(q, k).tids.tolist()
+                    == scan.query(q, k).tids.tolist()
+                )
+
+    @pytest.mark.parametrize("cls", [OnionIndex, ShellIndex])
+    def test_retrieved_at_least_k(self, cls, small_3d):
+        idx = cls(small_3d)
+        for q in simplex_workload(3, 5, seed=1):
+            res = idx.query(q, 10)
+            assert res.retrieved >= 10
+            assert res.layers_scanned >= 1
+
+    def test_early_stop_actually_saves_work(self, rng):
+        pts = rng.random((500, 3))
+        idx = ShellIndex(pts)
+        res = idx.query(LinearQuery([1, 1, 1]), 10)
+        assert res.retrieved < 500
+
+    @pytest.mark.parametrize("cls", [OnionIndex, ShellIndex])
+    def test_k_zero(self, cls, small_2d):
+        res = cls(small_2d).query(LinearQuery([1, 1]), 0)
+        assert res.tids.size == 0
+        assert res.retrieved == 0
+
+    def test_k_equals_n(self, small_2d):
+        idx = ShellIndex(small_2d)
+        q = LinearQuery([2, 1])
+        assert (
+            idx.query(q, 80).tids.tolist() == q.top_k(small_2d, 80).tolist()
+        )
+
+    def test_duplicate_heavy_data(self):
+        rng = np.random.default_rng(0)
+        pts = rng.integers(0, 3, size=(40, 2)).astype(float)
+        idx = OnionIndex(pts)
+        scan = LinearScanIndex(pts)
+        for q in simplex_workload(2, 10, seed=2):
+            assert (
+                idx.query(q, 7).tids.tolist() == scan.query(q, 7).tids.tolist()
+            )
+
+    def test_build_info(self, small_2d):
+        info = ShellIndex(small_2d).build_info()
+        assert info["method"] == "shell"
+        assert info["n_layers"] >= 1
+        assert info["build_seconds"] >= 0

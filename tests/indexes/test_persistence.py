@@ -1,0 +1,57 @@
+"""Tests for robust-index save/load."""
+
+import numpy as np
+import pytest
+
+from repro.indexes.robust import RobustIndex
+from repro.queries.ranking import LinearQuery
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_everything(self, tmp_path, rng):
+        data = rng.random((80, 3))
+        index = RobustIndex(data, n_partitions=6, systems="families",
+                            refine="peel")
+        path = tmp_path / "index.npz"
+        index.save(path)
+        loaded = RobustIndex.load(path)
+
+        assert loaded.layers.tolist() == index.layers.tolist()
+        assert np.allclose(loaded.points, index.points)
+        info = loaded.build_info()
+        assert info["n_partitions"] == 6
+        assert info["systems"] == "families"
+        assert info["refine"] == "peel"
+
+    def test_loaded_index_answers_queries(self, tmp_path, rng):
+        data = rng.random((60, 2))
+        index = RobustIndex(data, n_partitions=4)
+        path = tmp_path / "i.npz"
+        index.save(path)
+        loaded = RobustIndex.load(path)
+        q = LinearQuery([1, 3])
+        original = index.query(q, 7)
+        restored = loaded.query(q, 7)
+        assert restored.tids.tolist() == original.tids.tolist()
+        assert restored.retrieved == original.retrieved
+
+    def test_refine_none_round_trips(self, tmp_path, rng):
+        data = rng.random((20, 2))
+        index = RobustIndex(data, n_partitions=3)
+        path = tmp_path / "i.npz"
+        index.save(path)
+        assert RobustIndex.load(path).build_info()["refine"] is None
+
+    def test_unknown_version_rejected(self, tmp_path, rng):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path,
+            points=rng.random((3, 2)),
+            layers=np.ones(3, dtype=np.int64),
+            n_partitions=np.int64(2),
+            systems=np.str_("complementary"),
+            refine=np.str_(""),
+            format_version=np.int64(99),
+        )
+        with pytest.raises(ValueError, match="version"):
+            RobustIndex.load(path)

@@ -1,0 +1,125 @@
+"""Tests for the PREFER ranked-view index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes.linear_scan import LinearScanIndex
+from repro.indexes.prefer import PreferIndex, watermark_min_score
+from repro.queries.ranking import LinearQuery
+from repro.queries.workload import corner_workload, simplex_workload
+
+from ..conftest import points_strategy
+
+
+class TestWatermark:
+    def test_already_satisfied_floor(self):
+        lo, hi = np.zeros(2), np.ones(2)
+        # v.lo = 0 >= -1: the minimum is w.lo.
+        assert watermark_min_score(
+            np.array([1.0, 2.0]), np.array([0.5, 0.5]), -1.0, lo, hi
+        ) == pytest.approx(0.0)
+
+    def test_infeasible_returns_inf(self):
+        lo, hi = np.zeros(2), np.ones(2)
+        assert watermark_min_score(
+            np.array([1.0, 1.0]), np.array([0.5, 0.5]), 5.0, lo, hi
+        ) == float("inf")
+
+    def test_greedy_uses_cheapest_dimension(self):
+        lo, hi = np.zeros(2), np.ones(2)
+        w = np.array([10.0, 1.0])
+        v = np.array([0.5, 0.5])
+        # Raising x2 costs 1 per 0.5 of view score; deficit 0.25.
+        got = watermark_min_score(w, v, 0.25, lo, hi)
+        assert got == pytest.approx(0.5)
+
+    def test_zero_view_weight_dimensions_never_raised(self):
+        lo, hi = np.zeros(2), np.ones(2)
+        w = np.array([0.1, 5.0])
+        v = np.array([0.0, 1.0])
+        got = watermark_min_score(w, v, 0.5, lo, hi)
+        assert got == pytest.approx(2.5)
+
+    @given(points_strategy(min_rows=5, max_rows=40, min_dims=2, max_dims=4),
+           st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_watermark_matches_scipy_linprog(self, pts, seed):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(seed)
+        d = pts.shape[1]
+        w = rng.random(d) + 0.01
+        v = rng.dirichlet(np.ones(d))
+        lo, hi = pts.min(axis=0), pts.max(axis=0)
+        floor = float(np.quantile(pts @ v, 0.5))
+        greedy = watermark_min_score(w, v, floor, lo, hi)
+        lp = linprog(
+            w, A_ub=-v[None, :], b_ub=[-floor],
+            bounds=list(zip(lo, hi)), method="highs",
+        )
+        if lp.success:
+            assert greedy == pytest.approx(lp.fun, abs=1e-7)
+        else:
+            assert greedy == float("inf")
+
+    @given(points_strategy(min_rows=5, max_rows=40, min_dims=2, max_dims=3),
+           st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_watermark_is_a_sound_lower_bound(self, pts, seed):
+        """No tuple above the view floor may score below the watermark."""
+        rng = np.random.default_rng(seed)
+        d = pts.shape[1]
+        w = rng.random(d) + 0.01
+        v = rng.dirichlet(np.ones(d))
+        lo, hi = pts.min(axis=0), pts.max(axis=0)
+        floor = float(np.quantile(pts @ v, 0.4))
+        bound = watermark_min_score(w, v, floor, lo, hi)
+        above = pts[pts @ v >= floor]
+        if above.size:
+            assert (above @ w).min() >= bound - 1e-9
+
+
+class TestQueries:
+    def test_matches_full_scan(self, small_3d):
+        idx = PreferIndex(small_3d)
+        scan = LinearScanIndex(small_3d)
+        for q in simplex_workload(3, 15, seed=0) + corner_workload(3):
+            for k in (1, 5, 25):
+                assert (
+                    idx.query(q, k).tids.tolist()
+                    == scan.query(q, k).tids.tolist()
+                )
+
+    def test_view_aligned_query_stops_early(self, rng):
+        pts = rng.random((1000, 3))
+        idx = PreferIndex(pts)
+        res = idx.query(LinearQuery([1, 1, 1]), 10)
+        assert res.retrieved < 200
+
+    def test_sensitivity_to_weights(self, rng):
+        """The paper's Example-1 behaviour: skewed queries hurt."""
+        pts = rng.random((1000, 3))
+        idx = PreferIndex(pts)
+        aligned = idx.query(LinearQuery([1, 1, 1]), 10).retrieved
+        skewed = idx.query(LinearQuery([20, 1, 1]), 10).retrieved
+        assert skewed > aligned
+
+    def test_custom_view_weights(self, rng):
+        pts = rng.random((500, 3))
+        idx = PreferIndex(pts, view_weights=[4, 1, 1])
+        res = idx.query(LinearQuery([4, 1, 1]), 10)
+        assert res.retrieved < 150
+        assert res.tids.tolist() == LinearQuery([4, 1, 1]).top_k(pts, 10).tolist()
+
+    def test_k_zero_and_overflow(self, small_2d):
+        idx = PreferIndex(small_2d)
+        assert idx.query(LinearQuery([1, 1]), 0).tids.size == 0
+        q = LinearQuery([1, 2])
+        assert idx.query(q, 200).tids.tolist() == q.top_k(small_2d, 80).tolist()
+
+    def test_build_info(self, small_2d):
+        info = PreferIndex(small_2d).build_info()
+        assert info["method"] == "prefer"
+        assert info["view_weights"] == [0.5, 0.5]

@@ -1,0 +1,72 @@
+"""PREFER edge cases: chunk boundaries, infeasible watermarks, d=1."""
+
+import numpy as np
+import pytest
+
+from repro.indexes.prefer import PreferIndex, watermark_min_score
+from repro.queries.ranking import LinearQuery
+
+
+class TestChunkBoundaries:
+    @pytest.mark.parametrize("n", [1, 7, 8, 9, 16, 17])
+    def test_small_relations(self, n, rng):
+        data = rng.random((n, 2))
+        idx = PreferIndex(data)
+        q = LinearQuery([1, 3])
+        k = min(3, n)
+        assert idx.query(q, k).tids.tolist() == q.top_k(data, k).tolist()
+
+    def test_retrieved_is_multiple_of_chunk_or_n(self, rng):
+        data = rng.random((100, 3))
+        idx = PreferIndex(data)
+        res = idx.query(LinearQuery([1, 1, 1]), 5)
+        assert res.retrieved % 8 == 0 or res.retrieved == 100
+
+
+class TestWatermarkEdges:
+    def test_floor_above_box_max(self):
+        lo, hi = np.zeros(2), np.ones(2)
+        w, v = np.array([1.0, 1.0]), np.array([0.5, 0.5])
+        assert watermark_min_score(w, v, 10.0, lo, hi) == float("inf")
+
+    def test_degenerate_box(self):
+        lo = hi = np.array([0.5, 0.5])
+        w, v = np.array([1.0, 1.0]), np.array([0.5, 0.5])
+        # Every tuple is the same point: feasible iff floor <= v.lo.
+        assert watermark_min_score(w, v, 0.4, lo, hi) == pytest.approx(1.0)
+        assert watermark_min_score(w, v, 0.6, lo, hi) == float("inf")
+
+    def test_exact_boundary_floor(self):
+        lo, hi = np.zeros(2), np.ones(2)
+        w, v = np.array([2.0, 3.0]), np.array([0.5, 0.5])
+        # Floor exactly at v.hi: only x = hi qualifies.
+        got = watermark_min_score(w, v, 1.0, lo, hi)
+        assert got == pytest.approx(5.0)
+
+
+class TestOneDimension:
+    def test_view_equals_query_in_1d(self, rng):
+        data = rng.random((50, 1))
+        idx = PreferIndex(data)
+        q = LinearQuery([1.0])
+        res = idx.query(q, 5)
+        assert res.tids.tolist() == q.top_k(data, 5).tolist()
+        assert res.retrieved <= 16  # one or two chunks
+
+
+class TestSignedThreeDims:
+    def test_signed_layers_3d_soundness(self):
+        from repro.core.signed import SignedRobustLayers
+
+        rng = np.random.default_rng(33)
+        data = rng.random((40, 3))
+        idx = SignedRobustLayers(data, n_partitions=3)
+        assert len(idx.sign_patterns) == 8
+        for seed in range(8):
+            w = np.random.default_rng(seed).normal(size=3)
+            if not w.any():
+                continue
+            q = LinearQuery(w, require_monotone=False)
+            layers = idx.layers_for(q)
+            top = q.top_k(data, 6)
+            assert np.all(layers[top] <= 6)

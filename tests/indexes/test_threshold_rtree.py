@@ -1,0 +1,163 @@
+"""Tests for the related-work baselines: TA and R-tree."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dstruct.rtree import RTree
+from repro.indexes.linear_scan import LinearScanIndex
+from repro.indexes.rtree import RTreeIndex
+from repro.indexes.threshold import ThresholdIndex
+from repro.queries.ranking import LinearQuery
+from repro.queries.workload import corner_workload, simplex_workload
+
+from ..conftest import points_strategy
+
+
+class TestThresholdAlgorithm:
+    def test_matches_full_scan(self, small_3d):
+        idx = ThresholdIndex(small_3d)
+        scan = LinearScanIndex(small_3d)
+        for q in simplex_workload(3, 15, seed=0) + corner_workload(3):
+            for k in (1, 5, 25):
+                assert (
+                    idx.query(q, k).tids.tolist()
+                    == scan.query(q, k).tids.tolist()
+                )
+
+    def test_early_termination_on_correlated_data(self):
+        from repro.data import correlated
+
+        data = correlated(1000, 3, 0.9, seed=1)
+        idx = ThresholdIndex(data)
+        res = idx.query(LinearQuery([1, 1, 1]), 10)
+        assert res.retrieved < 400
+
+    def test_access_accounting(self, small_3d):
+        res = ThresholdIndex(small_3d).query(LinearQuery([1, 2, 1]), 5)
+        extra = res.extra
+        assert extra["sorted_accesses"] >= extra["depth"] * 3 - 3
+        assert extra["random_accesses"] == res.retrieved * 2
+        assert 1 <= extra["depth"] <= 60
+
+    def test_zero_weight_lists_skipped(self, small_3d):
+        idx = ThresholdIndex(small_3d)
+        q = LinearQuery([1.0, 0.0, 0.0])
+        res = idx.query(q, 3)
+        assert res.tids.tolist() == q.top_k(small_3d, 3).tolist()
+        # Only one active list: depth sorted accesses total.
+        assert res.extra["sorted_accesses"] == res.extra["depth"]
+
+    def test_ties_broken_by_tid(self):
+        pts = np.array([[1.0, 2.0], [2.0, 1.0], [0.0, 3.0], [3.0, 0.0]])
+        q = LinearQuery([1, 1])  # everything ties at 3.0
+        res = ThresholdIndex(pts).query(q, 2)
+        assert res.tids.tolist() == [0, 1]
+
+    def test_k_zero_and_build_info(self, small_2d):
+        idx = ThresholdIndex(small_2d)
+        assert idx.query(LinearQuery([1, 1]), 0).tids.size == 0
+        assert idx.build_info()["n_lists"] == 2
+
+    @given(points_strategy(min_rows=2, max_rows=40, min_dims=2, max_dims=4),
+           st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_scan(self, pts, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.dirichlet(np.ones(pts.shape[1]))
+        k = int(rng.integers(1, pts.shape[0] + 1))
+        q = LinearQuery(w)
+        assert (
+            ThresholdIndex(pts).query(q, k).tids.tolist()
+            == q.top_k(pts, k).tolist()
+        )
+
+
+class TestRTreeStructure:
+    def test_leaf_count(self):
+        pts = np.random.default_rng(0).random((100, 2))
+        tree = RTree(pts, leaf_size=8)
+        assert len(tree.leaves()) == math.ceil(100 / 8)
+        tree.check_invariants()
+
+    def test_single_leaf(self):
+        pts = np.random.default_rng(1).random((5, 3))
+        tree = RTree(pts, leaf_size=8)
+        assert tree.height == 1
+        tree.check_invariants()
+
+    def test_empty(self):
+        tree = RTree(np.zeros((0, 2)))
+        assert tree.root.is_leaf
+        assert tree.root.tids.size == 0
+
+    def test_mindist_is_sound(self):
+        pts = np.random.default_rng(2).random((200, 3))
+        tree = RTree(pts, leaf_size=16)
+        w = np.array([1.0, 2.0, 0.5])
+        for leaf in tree.leaves():
+            true_min = float((pts[leaf.tids] @ w).min())
+            assert leaf.mindist(w) <= true_min + 1e-12
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            RTree(np.ones(5))
+        with pytest.raises(ValueError):
+            RTree(np.ones((5, 2)), leaf_size=1)
+
+    @given(points_strategy(min_rows=1, max_rows=120, min_dims=1, max_dims=4))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_random(self, pts):
+        RTree(pts, leaf_size=7).check_invariants()
+
+
+class TestRTreeIndex:
+    def test_matches_full_scan(self, small_3d):
+        idx = RTreeIndex(small_3d, leaf_size=8)
+        scan = LinearScanIndex(small_3d)
+        for q in simplex_workload(3, 15, seed=3) + corner_workload(3):
+            for k in (1, 5, 25):
+                assert (
+                    idx.query(q, k).tids.tolist()
+                    == scan.query(q, k).tids.tolist()
+                )
+
+    def test_prunes_on_clustered_data(self):
+        from repro.data import clustered
+
+        data = clustered(2000, 3, n_clusters=8, seed=4)
+        idx = RTreeIndex(data, leaf_size=32)
+        res = idx.query(LinearQuery([1, 1, 1]), 10)
+        assert res.retrieved < 2000
+        assert res.extra["nodes_visited"] >= 1
+
+    def test_ties_broken_by_tid(self):
+        pts = np.array([[1.0, 2.0], [2.0, 1.0], [0.0, 3.0], [3.0, 0.0]])
+        q = LinearQuery([1, 1])
+        res = RTreeIndex(pts, leaf_size=2).query(q, 2)
+        assert res.tids.tolist() == [0, 1]
+
+    def test_k_zero(self, small_2d):
+        assert RTreeIndex(small_2d).query(LinearQuery([1, 1]), 0).tids.size == 0
+
+    def test_build_info(self, small_2d):
+        info = RTreeIndex(small_2d, leaf_size=8).build_info()
+        assert info["method"] == "rtree"
+        assert info["height"] >= 2
+        assert info["n_leaves"] == math.ceil(80 / 8)
+
+    @given(points_strategy(min_rows=2, max_rows=60, min_dims=2, max_dims=3),
+           st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_scan(self, pts, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.dirichlet(np.ones(pts.shape[1]))
+        k = int(rng.integers(1, pts.shape[0] + 1))
+        q = LinearQuery(w)
+        assert (
+            RTreeIndex(pts, leaf_size=4).query(q, k).tids.tolist()
+            == q.top_k(pts, k).tolist()
+        )

@@ -1,0 +1,121 @@
+"""Tests for the linear ranked-query model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queries.ranking import LinearQuery, rank_of, ranking_order, top_k_tids
+
+from ..conftest import points_strategy
+
+
+class TestLinearQueryValidation:
+    def test_rejects_negative_weights_by_default(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LinearQuery([1.0, -0.5])
+
+    def test_allows_negative_weights_when_asked(self):
+        q = LinearQuery([1.0, -0.5], require_monotone=False)
+        assert not q.is_monotone
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError, match="non-zero"):
+            LinearQuery([0.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LinearQuery([])
+
+    def test_rejects_matrix_weights(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            LinearQuery([[1.0, 2.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            LinearQuery([1.0, float("nan")])
+
+    def test_weights_are_read_only(self):
+        q = LinearQuery([1.0, 2.0])
+        with pytest.raises(ValueError):
+            q.weights[0] = 5.0
+
+    def test_dimensions(self):
+        assert LinearQuery([1, 2, 3]).dimensions == 3
+
+
+class TestScoring:
+    def test_scores_linear_combination(self):
+        data = np.array([[1.0, 2.0], [3.0, 4.0]])
+        q = LinearQuery([2.0, 1.0])
+        assert q.scores(data).tolist() == [4.0, 10.0]
+
+    def test_scores_rejects_wrong_width(self):
+        q = LinearQuery([1.0, 1.0])
+        with pytest.raises(ValueError, match=r"\(n, 2\)"):
+            q.scores(np.zeros((3, 3)))
+
+    def test_normalized_preserves_ranking(self):
+        rng = np.random.default_rng(0)
+        data = rng.random((30, 3))
+        q = LinearQuery([2.0, 5.0, 1.0])
+        assert list(q.top_k(data, 30)) == list(q.normalized().top_k(data, 30))
+
+    def test_normalized_sums_to_one(self):
+        q = LinearQuery([2.0, 6.0]).normalized()
+        assert q.weights.sum() == pytest.approx(1.0)
+
+    def test_normalized_rejects_non_monotone(self):
+        q = LinearQuery([1.0, -1.0], require_monotone=False)
+        with pytest.raises(ValueError):
+            q.normalized()
+
+
+class TestTopK:
+    def test_minimization_semantics(self):
+        data = np.array([[3.0], [1.0], [2.0]])
+        assert LinearQuery([1.0]).top_k(data, 2).tolist() == [1, 2]
+
+    def test_k_larger_than_n(self):
+        data = np.array([[1.0], [2.0]])
+        assert LinearQuery([1.0]).top_k(data, 10).tolist() == [0, 1]
+
+    def test_k_zero(self):
+        data = np.array([[1.0], [2.0]])
+        assert LinearQuery([1.0]).top_k(data, 0).size == 0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            top_k_tids(np.array([1.0]), -1)
+
+    def test_ties_broken_by_tid(self):
+        data = np.array([[2.0, 0.0], [1.0, 1.0], [0.0, 2.0]])
+        q = LinearQuery([1.0, 1.0])  # all scores tie at 2.0
+        assert q.top_k(data, 3).tolist() == [0, 1, 2]
+
+    def test_rank_of_with_ties(self):
+        scores = np.array([5.0, 3.0, 5.0, 3.0])
+        assert rank_of(scores, 0) == 3  # two 3.0s precede
+        assert rank_of(scores, 2) == 4  # also tid 0 ties and precedes
+        assert rank_of(scores, 1) == 1
+        assert rank_of(scores, 3) == 2
+
+    @given(points_strategy(min_rows=1, max_rows=30, min_dims=1, max_dims=3),
+           st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_rank_of_matches_order_position(self, pts, wseed):
+        w = np.random.default_rng(wseed).random(pts.shape[1]) + 0.01
+        scores = pts @ w
+        order = ranking_order(scores)
+        for position, tid in enumerate(order[: min(10, len(order))]):
+            assert rank_of(scores, int(tid)) == position + 1
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        assert LinearQuery([1, 2]) == LinearQuery([1.0, 2.0])
+        assert hash(LinearQuery([1, 2])) == hash(LinearQuery([1.0, 2.0]))
+        assert LinearQuery([1, 2]) != LinearQuery([2, 1])
+
+    def test_eq_other_type(self):
+        assert LinearQuery([1, 2]) != "query"

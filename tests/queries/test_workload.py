@@ -1,0 +1,84 @@
+"""Tests for query-workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.queries.workload import (
+    all_grid_weights,
+    corner_workload,
+    grid_weight_workload,
+    simplex_workload,
+)
+
+
+class TestGridWorkload:
+    def test_count_and_dims(self):
+        queries = grid_weight_workload(3, 10, seed=0)
+        assert len(queries) == 10
+        assert all(q.dimensions == 3 for q in queries)
+
+    def test_weights_come_from_choices(self):
+        queries = grid_weight_workload(2, 20, choices=(1, 2), seed=1)
+        for q in queries:
+            assert set(q.weights.tolist()) <= {1.0, 2.0}
+
+    def test_deterministic_by_seed(self):
+        a = grid_weight_workload(3, 5, seed=7)
+        b = grid_weight_workload(3, 5, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = grid_weight_workload(3, 8, seed=1)
+        b = grid_weight_workload(3, 8, seed=2)
+        assert a != b
+
+    def test_zero_choice_never_yields_all_zero(self):
+        queries = grid_weight_workload(2, 50, choices=(0, 1), seed=3)
+        for q in queries:
+            assert q.weights.any()
+
+    def test_rejects_negative_choices(self):
+        with pytest.raises(ValueError):
+            grid_weight_workload(2, 5, choices=(-1, 2))
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            grid_weight_workload(0, 5)
+        with pytest.raises(ValueError):
+            grid_weight_workload(2, -1)
+
+    def test_zero_queries(self):
+        assert grid_weight_workload(3, 0) == []
+
+
+class TestAllGridWeights:
+    def test_exhaustive_count(self):
+        queries = list(all_grid_weights(3, choices=(1, 2, 3, 4)))
+        assert len(queries) == 64
+
+    def test_excludes_all_zero(self):
+        queries = list(all_grid_weights(2, choices=(0, 1)))
+        assert len(queries) == 3
+
+    def test_distinct(self):
+        queries = list(all_grid_weights(2, choices=(1, 2)))
+        assert len(set(queries)) == len(queries)
+
+
+class TestSimplexWorkload:
+    def test_on_the_simplex(self):
+        for q in simplex_workload(4, 20, seed=5):
+            w = q.weights
+            assert np.all(w > 0)
+            assert w.sum() == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        assert simplex_workload(3, 6, seed=9) == simplex_workload(3, 6, seed=9)
+
+
+class TestCornerWorkload:
+    def test_one_per_dimension(self):
+        queries = corner_workload(3)
+        assert len(queries) == 3
+        stacked = np.stack([q.weights for q in queries])
+        assert np.array_equal(stacked, np.eye(3))

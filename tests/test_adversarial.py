@@ -1,0 +1,168 @@
+"""Adversarial distributions and edge-case stress tests.
+
+The per-module suites use benign random data; this file points the
+whole stack at the hard cases — anti-correlated skylines, clusters,
+integer lattices full of ties, collinear/degenerate geometry, extreme
+scales — and checks the global invariants still hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LinearQuery,
+    LinearScanIndex,
+    OnionIndex,
+    PreferIndex,
+    RobustIndex,
+    RTreeIndex,
+    ShellIndex,
+    ThresholdIndex,
+)
+from repro.core.appri import appri_layers
+from repro.core.exact import exact_robust_layers
+from repro.core.index import violating_tids
+from repro.data import anticorrelated, clustered, minmax_normalize
+from repro.queries.workload import corner_workload, simplex_workload
+
+ALL_INDEX_CLASSES = [
+    RobustIndex,
+    OnionIndex,
+    ShellIndex,
+    PreferIndex,
+    ThresholdIndex,
+    RTreeIndex,
+]
+
+
+def build(cls, data):
+    if cls is RobustIndex:
+        return cls(data, n_partitions=4)
+    return cls(data)
+
+
+def check_equivalence(data, n_queries=8, ks=(1, 5, 20)):
+    scan = LinearScanIndex(data)
+    queries = simplex_workload(data.shape[1], n_queries, seed=11)
+    queries += corner_workload(data.shape[1])
+    for cls in ALL_INDEX_CLASSES:
+        index = build(cls, data)
+        for q in queries:
+            for k in ks:
+                got = index.query(q, k).tids.tolist()
+                want = scan.query(q, k).tids.tolist()
+                assert got == want, (cls.__name__, q.weights.tolist(), k)
+
+
+class TestAnticorrelated:
+    """Huge skylines: the worst case for domination-based layering."""
+
+    def test_all_indexes_agree(self):
+        data = anticorrelated(150, 3, seed=1)
+        check_equivalence(data)
+
+    def test_appri_layers_sound_and_shallow(self):
+        from repro.dstruct.dominance import count_dominators
+
+        data = anticorrelated(120, 2, seed=2)
+        layers = appri_layers(data, n_partitions=5)
+        exact = exact_robust_layers(data)
+        assert np.all(layers <= exact)
+        # Anti-correlated data has a huge skyline (few dominators)...
+        assert (count_dominators(data) == 0).sum() > 40
+        # ...but only the convexly extreme part can ever be top-1.
+        assert (exact == 1).sum() >= 2
+
+    def test_retrieval_degrades_gracefully(self):
+        data = minmax_normalize(anticorrelated(600, 3, seed=3))
+        index = RobustIndex(data, n_partitions=6)
+        cost = index.query(LinearQuery([1, 1, 1]), 10).retrieved
+        assert 10 <= cost <= 600
+
+
+class TestClustered:
+    def test_all_indexes_agree(self):
+        data = clustered(150, 3, n_clusters=4, seed=4)
+        check_equivalence(data)
+
+    def test_soundness_random_queries(self):
+        data = clustered(100, 3, n_clusters=3, seed=5)
+        layers = appri_layers(data, n_partitions=4)
+        for q in simplex_workload(3, 20, seed=6):
+            assert violating_tids(data, layers, q, 10).size == 0
+
+
+class TestIntegerLattices:
+    """Massive ties in every column."""
+
+    @pytest.mark.parametrize("levels", [2, 3, 5])
+    def test_all_indexes_agree(self, levels):
+        rng = np.random.default_rng(levels)
+        data = rng.integers(0, levels, size=(80, 3)).astype(float)
+        check_equivalence(data, n_queries=5, ks=(1, 7, 40))
+
+    def test_appri_sound_on_binary_cube(self):
+        rng = np.random.default_rng(9)
+        data = rng.integers(0, 2, size=(60, 3)).astype(float)
+        layers = appri_layers(data, n_partitions=4)
+        for q in simplex_workload(3, 15, seed=10):
+            for k in (1, 5, 30):
+                assert violating_tids(data, layers, q, k).size == 0
+
+
+class TestDegenerateGeometry:
+    def test_collinear_points(self):
+        t = np.linspace(0, 1, 40)
+        data = np.column_stack([t, 1 - t])  # one segment
+        check_equivalence(data, n_queries=5, ks=(1, 3, 10))
+
+    def test_coplanar_3d(self):
+        rng = np.random.default_rng(12)
+        xy = rng.random((60, 2))
+        data = np.column_stack([xy, xy.sum(axis=1)])  # rank-deficient
+        check_equivalence(data, n_queries=5, ks=(1, 5))
+
+    def test_single_repeated_point(self):
+        data = np.tile([[0.4, 0.6]], (20, 1))
+        check_equivalence(data, n_queries=3, ks=(1, 5, 20))
+
+    def test_two_points(self):
+        data = np.array([[0.0, 1.0], [1.0, 0.0]])
+        check_equivalence(data, n_queries=3, ks=(1, 2))
+
+
+class TestExtremeScales:
+    def test_wildly_different_column_scales(self):
+        rng = np.random.default_rng(13)
+        data = rng.random((100, 3)) * np.array([1e-8, 1.0, 1e8])
+        check_equivalence(data, n_queries=5, ks=(1, 10))
+
+    def test_negative_values(self):
+        rng = np.random.default_rng(14)
+        data = rng.normal(size=(100, 3))  # values straddle zero
+        check_equivalence(data, n_queries=5, ks=(1, 10))
+
+    def test_large_k_equals_n(self):
+        rng = np.random.default_rng(15)
+        data = rng.random((50, 2))
+        check_equivalence(data, n_queries=3, ks=(50,))
+
+
+class TestHighDimensions:
+    @pytest.mark.parametrize("d", [4, 5, 6])
+    def test_appri_sound_beyond_three_dims(self, d):
+        rng = np.random.default_rng(d)
+        data = rng.random((60, d))
+        layers = appri_layers(data, n_partitions=3)
+        for q in simplex_workload(d, 10, seed=d):
+            for k in (1, 5, 30):
+                assert violating_tids(data, layers, q, k).size == 0
+
+    def test_families_extension_in_4d(self):
+        rng = np.random.default_rng(44)
+        data = rng.random((40, 4))
+        base = appri_layers(data, n_partitions=3)
+        fam = appri_layers(data, n_partitions=3, systems="families")
+        assert np.all(fam >= base)
+        for q in simplex_workload(4, 10, seed=45):
+            assert violating_tids(data, fam, q, 8).size == 0

@@ -1,0 +1,130 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+@pytest.fixture
+def csv_file(tmp_path, rng):
+    from repro.data.io import save_csv
+
+    path = tmp_path / "data.csv"
+    save_csv(path, ["a1", "a2", "a3"], rng.random((120, 3)))
+    return path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "VLDB 2006" in out
+        assert "AppRI" in out
+
+    def test_generate(self, tmp_path, capsys):
+        out_path = tmp_path / "gen.csv"
+        assert main([
+            "generate", "--kind", "correlated", "--n", "50",
+            "--c", "0.7", "-o", str(out_path),
+        ]) == 0
+        from repro.data.io import load_csv
+
+        names, matrix = load_csv(out_path)
+        assert names == ["a1", "a2", "a3"]
+        assert matrix.shape == (50, 3)
+
+    def test_generate_surrogates(self, tmp_path):
+        out_path = tmp_path / "cover.csv"
+        assert main([
+            "generate", "--kind", "cover", "--n", "40", "-o", str(out_path),
+        ]) == 0
+        from repro.data.io import load_csv
+
+        _, matrix = load_csv(out_path)
+        assert matrix.shape == (40, 3)
+
+    def test_build_query_audit_pipeline(self, tmp_path, csv_file, capsys):
+        index_path = tmp_path / "index.npz"
+        assert main([
+            "build", str(csv_file), "-o", str(index_path),
+            "--partitions", "4", "--normalize",
+        ]) == 0
+        assert "layers" in capsys.readouterr().out
+
+        assert main([
+            "query", str(index_path), "--weights", "1,2,4", "-k", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "top-5" in out
+        assert out.count("tid=") == 5
+
+        assert main([
+            "audit", str(index_path), "--queries", "30",
+        ]) == 0
+        assert "SOUND" in capsys.readouterr().out
+
+    def test_build_with_extensions(self, tmp_path, csv_file):
+        index_path = tmp_path / "plus.npz"
+        assert main([
+            "build", str(csv_file), "-o", str(index_path),
+            "--partitions", "3", "--systems", "families", "--peel",
+        ]) == 0
+
+    def test_query_bad_weights(self, tmp_path, csv_file):
+        index_path = tmp_path / "i.npz"
+        main(["build", str(csv_file), "-o", str(index_path),
+              "--partitions", "2"])
+        with pytest.raises(SystemExit, match="weights"):
+            main(["query", str(index_path), "--weights", "1,zap"])
+
+    def test_sql_layer_plan(self, tmp_path, rng, capsys):
+        from repro.data.io import save_csv
+
+        path = tmp_path / "houses.csv"
+        save_csv(path, ["price", "distance"], rng.random((60, 2)))
+        assert main([
+            "sql", str(path),
+            "SELECT TOP 4 FROM houses WHERE layer <= 4 "
+            "ORDER BY price + 2*distance",
+            "--partitions", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "layer-prefix" in out
+        assert out.count("\n") >= 6  # header + 4 rows + stats
+
+    def test_sql_scan_plan(self, tmp_path, rng, capsys):
+        from repro.data.io import save_csv
+
+        path = tmp_path / "t.csv"
+        save_csv(path, ["a", "b"], rng.random((30, 2)))
+        assert main([
+            "sql", str(path), "SELECT TOP 3 FROM t ORDER BY a + b",
+        ]) == 0
+        assert "plan: scan" in capsys.readouterr().out
+
+    def test_figure_unknown(self):
+        with pytest.raises(SystemExit, match="unknown figure"):
+            main(["figure", "fig99"])
+
+
+class TestFigureCommand:
+    def test_figure_with_size_override(self, capsys):
+        assert main(["figure", "table1", "--n", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Robust" in out
+
+    def test_figure_sizes_variant(self, capsys):
+        assert main(["figure", "fig8", "--n", "160"]) == 0
+        assert "construction seconds" in capsys.readouterr().out

@@ -1,0 +1,49 @@
+"""Tests for the top-level package surface and embedded doctests."""
+
+import doctest
+import importlib
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_readme_quickstart_runs(self):
+        data = np.random.default_rng(0).random((300, 3))
+        index = repro.RobustIndex(data, n_partitions=5)
+        result = index.query(repro.LinearQuery([1, 2, 4]), k=50)
+        assert result.tids.size == 50
+        assert result.retrieved >= 50
+
+
+DOCTEST_MODULES = [
+    "repro.queries.ranking",
+    "repro.dstruct.avl",
+    "repro.dstruct.fenwick",
+    "repro.core.signed",
+    "repro.indexes.robust",
+    "repro.indexes.onion",
+    "repro.indexes.prefer",
+    "repro.indexes.multiview",
+    "repro.engine.schema",
+    "repro.engine.relation",
+    "repro.engine.catalog",
+    "repro.engine.sql",
+]
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module)
+    assert results.failed == 0
+    assert results.attempted > 0, f"{module_name} lost its doctest examples"

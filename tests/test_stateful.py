@@ -1,0 +1,144 @@
+"""Stateful (model-based) property tests.
+
+Hypothesis drives random operation sequences against the mutable
+components — the dynamic robust index, the order-statistic AVL tree,
+and the engine catalog — checking the invariants after every step.
+Plus a grammar fuzz of the SQL parser: arbitrary input must either
+parse or raise ``SqlError``, never anything else.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.dynamic import DynamicRobustLayers
+from repro.core.index import violating_tids
+from repro.dstruct.avl import OrderStatisticAVL
+from repro.engine.sql import SqlError, parse
+from repro.queries.ranking import LinearQuery
+
+
+class DynamicIndexMachine(RuleBasedStateMachine):
+    """Insert/delete streams must keep the layering sound."""
+
+    @initialize(seed=st.integers(0, 2**31))
+    def setup(self, seed):
+        self.rng = np.random.default_rng(seed)
+        self.index = DynamicRobustLayers(
+            self.rng.random((12, 2)), n_partitions=3
+        )
+
+    @rule()
+    def insert(self):
+        self.index.insert(self.rng.random(2))
+
+    @precondition(lambda self: self.index.size > 3)
+    @rule(data=st.data())
+    def delete(self, data):
+        position = data.draw(
+            st.integers(0, self.index.size - 1), label="position"
+        )
+        self.index.delete(position)
+
+    @rule()
+    def rebuild(self):
+        self.index.rebuild()
+
+    @invariant()
+    def layering_stays_sound(self):
+        points = self.index.points
+        layers = self.index.layers()
+        assert layers.shape == (points.shape[0],)
+        assert layers.min() >= 1
+        w = self.rng.dirichlet(np.ones(2))
+        k = int(self.rng.integers(1, points.shape[0] + 1))
+        assert violating_tids(points, layers, LinearQuery(w), k).size == 0
+
+
+class AvlMachine(RuleBasedStateMachine):
+    """The order-statistic tree against a plain list model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = OrderStatisticAVL()
+        self.model: list[int] = []
+
+    @rule(value=st.integers(-20, 20))
+    def insert(self, value):
+        self.tree.insert(value)
+        self.model.append(value)
+
+    @rule(query=st.integers(-25, 25))
+    def count_matches_model(self, query):
+        assert self.tree.count_le(query) == sum(
+            1 for v in self.model if v <= query
+        )
+        assert self.tree.count_lt(query) == sum(
+            1 for v in self.model if v < query
+        )
+
+    @invariant()
+    def structure_is_valid(self):
+        self.tree.check_invariants()
+        assert len(self.tree) == len(self.model)
+
+
+TestDynamicIndexMachine = DynamicIndexMachine.TestCase
+TestDynamicIndexMachine.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestAvlMachine = AvlMachine.TestCase
+TestAvlMachine.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+
+
+class TestSqlFuzz:
+    @given(st.text(max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse(text)
+        except SqlError:
+            pass  # the only acceptable failure mode
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                ["SELECT", "TOP", "FROM", "ORDER", "BY", "WHERE", "USING",
+                 "INDEX", "EXPLAIN", "layer", "<=", "5", "3.5", "t", "a",
+                 "b", "+", "-", "*", ","]
+            ),
+            max_size=15,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_token_soup_never_crashes(self, tokens):
+        try:
+            parse(" ".join(tokens))
+        except SqlError:
+            pass
+
+    @given(
+        k=st.integers(0, 99),
+        coefficients=st.lists(
+            st.floats(0.1, 9.9, allow_nan=False), min_size=1, max_size=4
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_generated_valid_statements_round_trip(self, k, coefficients):
+        attrs = [f"a{i}" for i in range(len(coefficients))]
+        expr = " + ".join(
+            f"{c:.2f}*{a}" for c, a in zip(coefficients, attrs)
+        )
+        query = parse(f"SELECT TOP {k} FROM t ORDER BY {expr}")
+        assert query.k == k
+        for c, a in zip(coefficients, attrs):
+            assert abs(query.order_by[a] - round(c, 2)) < 1e-9
