@@ -25,7 +25,8 @@ Quick start::
     result.retrieved   # tuples read: |first 50 layers|, query-independent
 """
 
-from .core.appri import appri_layers
+from . import obs
+from .core.appri import appri_build, appri_layers
 from .core.exact import exact_robust_layers, minimal_rank
 from .core.dynamic import DynamicRobustLayers
 from .core.signed import SignedRobustLayers
@@ -61,6 +62,8 @@ __all__ = [
     "DynamicRobustLayers",
     "audit_layering",
     "appri_layers",
+    "appri_build",
+    "obs",
     "exact_robust_layers",
     "minimal_rank",
     "grid_weight_workload",

@@ -16,6 +16,9 @@ sql
     Execute a ranked SQL statement against a CSV-backed table.
 figure
     Regenerate one of the paper's tables/figures.
+stats
+    Build an index with instrumentation on and report per-phase build
+    metrics plus query-path statistics over a random workload.
 """
 
 from __future__ import annotations
@@ -80,6 +83,7 @@ def _cmd_build(args) -> int:
         n_partitions=args.partitions,
         systems=args.systems,
         refine="peel" if args.peel else None,
+        workers=args.workers,
     )
     index.save(args.output)
     info = index.build_info()
@@ -157,6 +161,55 @@ def _cmd_sql(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from repro import obs
+    from repro.data import minmax_normalize, uniform
+    from repro.data.io import load_csv
+    from repro.geometry.weights import sample_simplex
+    from repro.indexes.robust import RobustIndex
+    from repro.queries.ranking import LinearQuery
+
+    if args.data:
+        _, data = load_csv(args.data)
+        if args.normalize:
+            data = minmax_normalize(data)
+    else:
+        data = uniform(args.n, args.d, seed=args.seed)
+    index = RobustIndex(
+        data,
+        n_partitions=args.partitions,
+        systems=args.systems,
+        workers=args.workers,
+    )
+    build = obs.Metrics.from_dict(index.build_metrics)
+    print(
+        build.summary(
+            f"build metrics (n={index.size}, d={data.shape[1]}, "
+            f"B={args.partitions}, workers={args.workers}):"
+        )
+    )
+
+    query_metrics = obs.Metrics()
+    with obs.collect(query_metrics):
+        for weights in sample_simplex(data.shape[1], args.queries, seed=args.seed):
+            index.query(LinearQuery(weights), args.k)
+    print()
+    print(
+        query_metrics.summary(
+            f"query metrics ({args.queries} random top-{args.k} queries):"
+        )
+    )
+    queries = query_metrics.counters.get("index.queries", 0)
+    if queries:
+        candidates = query_metrics.counters.get("index.candidates", 0)
+        print(
+            f"\nmean candidates per query: {candidates / queries:.1f} "
+            f"of {index.size} tuples "
+            f"({100.0 * candidates / (queries * index.size):.1f}% retrieved)"
+        )
+    return 0
+
+
 def _cmd_figure(args) -> int:
     from repro import experiments
 
@@ -219,6 +272,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="apply the shell-peel refinement")
     p.add_argument("--normalize", action="store_true",
                    help="min-max normalize attributes before indexing")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the chunked build pipeline")
 
     p = sub.add_parser("query", help="top-k query against a saved index")
     p.add_argument("index", help="index .npz from 'build'")
@@ -242,6 +297,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=None,
                    help="override the data size (quick look)")
 
+    p = sub.add_parser(
+        "stats", help="build with instrumentation and report metrics"
+    )
+    p.add_argument("--data", default=None,
+                   help="input CSV; omitted = synthetic uniform data")
+    p.add_argument("--n", type=int, default=2000,
+                   help="synthetic data size (no --data)")
+    p.add_argument("--d", type=int, default=3,
+                   help="synthetic dimensionality (no --data)")
+    p.add_argument("--partitions", type=int, default=10)
+    p.add_argument("--systems", default="complementary",
+                   choices=["complementary", "families"])
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the chunked build pipeline")
+    p.add_argument("--normalize", action="store_true",
+                   help="min-max normalize attributes before indexing")
+    p.add_argument("--queries", type=int, default=100,
+                   help="random top-k queries for the query-path stats")
+    p.add_argument("-k", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+
     return parser
 
 
@@ -253,6 +329,7 @@ _COMMANDS = {
     "audit": _cmd_audit,
     "sql": _cmd_sql,
     "figure": _cmd_figure,
+    "stats": _cmd_stats,
 }
 
 

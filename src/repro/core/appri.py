@@ -35,12 +35,28 @@ query) — which tightens deep tuples where wedge counting saturates.
 
 All region sizes are dominance-factor counts in transformed spaces
 (paper Example 4), delegated to :mod:`repro.dstruct.dominance`.
+
+Construction pipelines
+----------------------
+``workers=1`` (the default) runs the paper's serial schedule — one
+dominance pass per gamma level per side — and is kept bit-identical
+release to release.  ``workers > 1`` switches to the chunked parallel
+pipeline (:mod:`repro.core.pipeline`): per-tuple chunks are dispatched
+across worker processes and each (system, side) collapses its B-1
+level passes into one threshold sweep.  The two pipelines produce
+**identical layers** on every input; the parallel one is simply faster
+(also with a single worker slot on a single core, thanks to the
+batched sweep).  :func:`appri_build` exposes per-phase build metrics;
+:func:`appri_layers` returns just the layer array.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
+from .. import obs
 from ..dstruct.dominance import count_dominators
 from ..geometry.peeling import shell_peel_layers
 from ..geometry.weights import gamma_levels
@@ -52,7 +68,13 @@ from .partitioning import (
     subspace_transform,
 )
 
-__all__ = ["appri_layers", "wedge_counts", "pair_eds2_bound"]
+__all__ = [
+    "appri_layers",
+    "appri_build",
+    "AppRIBuild",
+    "wedge_counts",
+    "pair_eds2_bound",
+]
 
 #: Matching rules accepted by the builder.
 _MATCHINGS = ("greedy", "lemma3")
@@ -62,6 +84,53 @@ _SYSTEMS = ("complementary", "families")
 _REFINEMENTS = (None, "peel")
 
 
+@dataclass(frozen=True)
+class AppRIBuild:
+    """A built layering plus its construction accounting.
+
+    ``metrics`` is a :meth:`repro.obs.Metrics.as_dict` snapshot:
+    ``build.*`` phase timers, dominance-pass counters (``df.*``) and —
+    for the parallel pipeline — task/chunk accounting.  Worker-side
+    timers are summed across processes, so with ``workers > 1`` they
+    read as aggregate CPU seconds while ``build.total`` is wall time.
+    """
+
+    layers: np.ndarray
+    metrics: dict = field(default_factory=dict)
+    workers: int = 1
+    n_partitions: int = 10
+    systems: str = "complementary"
+
+
+def _validated_points(points) -> np.ndarray:
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2:
+        raise ValueError(f"points must be a 2-D array; got shape {pts.shape}")
+    if pts.size and not np.isfinite(pts).all():
+        raise ValueError(
+            "points must be finite; NaN or infinite attribute values "
+            "cannot be layered (clean or impute the data first)"
+        )
+    return pts
+
+
+def _validate_options(n_partitions, matching, systems, refine, workers, chunk_size):
+    if not isinstance(n_partitions, (int, np.integer)) or n_partitions < 1:
+        raise ValueError("n_partitions must be an integer >= 1")
+    if matching not in _MATCHINGS:
+        raise ValueError(f"matching must be one of {_MATCHINGS}")
+    if systems not in _SYSTEMS:
+        raise ValueError(f"systems must be one of {_SYSTEMS}")
+    if refine not in _REFINEMENTS:
+        raise ValueError(f"refine must be one of {_REFINEMENTS}")
+    if not isinstance(workers, (int, np.integer)) or workers < 1:
+        raise ValueError("workers must be an integer >= 1")
+    if chunk_size is not None and (
+        not isinstance(chunk_size, (int, np.integer)) or chunk_size < 1
+    ):
+        raise ValueError("chunk_size must be None or an integer >= 1")
+
+
 def appri_layers(
     points: np.ndarray,
     n_partitions: int = 10,
@@ -69,6 +138,8 @@ def appri_layers(
     matching: str = "greedy",
     systems: str = "complementary",
     refine: str | None = None,
+    workers: int = 1,
+    chunk_size: int | None = None,
 ) -> np.ndarray:
     """Approximate robust layer of every tuple (paper Algorithm 3).
 
@@ -77,14 +148,16 @@ def appri_layers(
     points:
         ``(n, d)`` data matrix.  Attributes should be on comparable
         scales (min-max normalize first) so the even-angle gamma grid
-        slices wedges meaningfully.
+        slices wedges meaningfully.  NaN/inf values are rejected.
     n_partitions:
         The paper's B; larger B tightens the bound at linear extra
         build cost (Figures 6-7 study this trade-off; B = 10 is the
         paper's operating point).
     counting:
-        Dominance-counting engine (see
-        :func:`repro.dstruct.dominance.count_dominators`).
+        Dominance-counting engine for the serial pipeline (see
+        :func:`repro.dstruct.dominance.count_dominators`).  The
+        parallel pipeline uses its own chunked kernel, which produces
+        the same counts for every engine choice.
     matching:
         ``greedy`` (exact staircase matching) or ``lemma3`` (the
         paper's closed form); the two are provably equal, both kept
@@ -94,57 +167,169 @@ def appri_layers(
         module docstring).
     refine:
         ``None`` or ``"peel"`` (take the max with shell-peeling depth).
+    workers:
+        ``1`` runs the serial reference pipeline (bit-identical to
+        prior releases); ``>1`` runs the chunked parallel pipeline
+        with up to that many worker processes.  Identical output
+        either way.
+    chunk_size:
+        Tuples per parallel task (``workers > 1`` only); ``None``
+        picks ~4 chunks per worker.
 
     Returns
     -------
     ``(n,)`` integer layers, 1-based.  Guaranteed
     ``appri_layers(x)[t] <= exact_robust_layers(x)[t]`` for all t.
     """
-    pts = np.asarray(points, dtype=float)
-    if pts.ndim != 2:
-        raise ValueError(f"points must be a 2-D array; got shape {pts.shape}")
-    if n_partitions < 1:
-        raise ValueError("n_partitions must be >= 1")
-    if matching not in _MATCHINGS:
-        raise ValueError(f"matching must be one of {_MATCHINGS}")
-    if systems not in _SYSTEMS:
-        raise ValueError(f"systems must be one of {_SYSTEMS}")
-    if refine not in _REFINEMENTS:
-        raise ValueError(f"refine must be one of {_REFINEMENTS}")
-    n, d = pts.shape
-    if n == 0:
-        return np.zeros(0, dtype=np.intp)
+    return appri_build(
+        points,
+        n_partitions=n_partitions,
+        counting=counting,
+        matching=matching,
+        systems=systems,
+        refine=refine,
+        workers=workers,
+        chunk_size=chunk_size,
+    ).layers
 
-    dominators = count_dominators(pts, method=counting).astype(np.int64)
-    all_systems = pair_systems(d, include_partial=(systems == "families"))
+
+def appri_build(
+    points: np.ndarray,
+    n_partitions: int = 10,
+    counting: str = "auto",
+    matching: str = "greedy",
+    systems: str = "complementary",
+    refine: str | None = None,
+    workers: int = 1,
+    chunk_size: int | None = None,
+) -> AppRIBuild:
+    """Build AppRI layers and return them with per-phase build metrics.
+
+    Same parameters as :func:`appri_layers`; this is the entry point
+    for callers who want the construction accounting (``RobustIndex``,
+    the ``repro stats`` CLI, the parallel-build benchmark).
+    """
+    pts = _validated_points(points)
+    _validate_options(n_partitions, matching, systems, refine, workers, chunk_size)
+    n, d = pts.shape
+
+    metrics = obs.Metrics()
+    metrics.inc("build.n", n)
+    metrics.inc("build.d", d)
+    metrics.inc("build.workers", workers)
+    metrics.inc("build.n_partitions", n_partitions)
+    with obs.collect(metrics), metrics.timeit("build.total"):
+        if n == 0:
+            layers = np.zeros(0, dtype=np.intp)
+        elif workers == 1:
+            layers = _serial_layers(
+                pts, n_partitions, counting, matching, systems, refine
+            )
+        else:
+            layers = _parallel_layers(
+                pts, n_partitions, matching, systems, refine, workers,
+                chunk_size, metrics,
+            )
+    return AppRIBuild(
+        layers=layers,
+        metrics=metrics.as_dict(),
+        workers=workers,
+        n_partitions=n_partitions,
+        systems=systems,
+    )
+
+
+def _serial_layers(pts, n_partitions, counting, matching, systems, refine):
+    """The paper's serial schedule — one dominance pass per level."""
+    n = pts.shape[0]
+    with obs.timed("build.phase.dominators"):
+        dominators = count_dominators(pts, method=counting).astype(np.int64)
+    all_systems = pair_systems(
+        pts.shape[1], include_partial=(systems == "families")
+    )
+    obs.inc("build.systems", len(all_systems))
     eds2 = np.zeros((len(all_systems), n), dtype=np.int64)
     for s, system in enumerate(all_systems):
-        i_wedges, iii_wedges = wedge_counts(pts, system, n_partitions, counting)
-        eds2[s] = pair_eds2_bound(i_wedges, iii_wedges, matching)
+        with obs.timed("build.phase.levels"):
+            i_wedges, iii_wedges = wedge_counts(
+                pts, system, n_partitions, counting
+            )
+        with obs.timed("build.phase.matching"):
+            eds2[s] = pair_eds2_bound(i_wedges, iii_wedges, matching)
+    return _combine_bounds(
+        pts, dominators, eds2, all_systems, systems, refine
+    )
 
-    if systems == "complementary":
-        bound = dominators + eds2.sum(axis=0)
-    else:
-        families = disjoint_system_families(all_systems)
-        family_sums = np.stack(
-            [eds2[list(family)].sum(axis=0) for family in families]
-        )
-        bound = dominators + family_sums.max(axis=0)
 
-    layers = bound + 1
+def _parallel_layers(
+    pts, n_partitions, matching, systems, refine, workers, chunk_size, metrics
+):
+    """The chunked pipeline (see :mod:`repro.core.pipeline`)."""
+    from .pipeline import build_level_data
+
+    dominators, level_data, all_systems = build_level_data(
+        pts,
+        n_partitions,
+        include_partial=(systems == "families"),
+        workers=workers,
+        chunk_size=chunk_size,
+        metrics=metrics,
+    )
+    obs.inc("build.systems", len(all_systems))
+    n = pts.shape[0]
+    eds2 = np.zeros((len(all_systems), n), dtype=np.int64)
+    for s, (a_levels, b_levels) in enumerate(level_data):
+        i_wedges, iii_wedges = _wedges_from_levels(a_levels, b_levels)
+        with obs.timed("build.phase.matching"):
+            eds2[s] = pair_eds2_bound(i_wedges, iii_wedges, matching)
+    return _combine_bounds(
+        pts, dominators, eds2, all_systems, systems, refine
+    )
+
+
+def _combine_bounds(pts, dominators, eds2, all_systems, systems, refine):
+    """Shared tail of both pipelines: aggregate, +1, optional peel."""
+    with obs.timed("build.phase.aggregate"):
+        if systems == "complementary":
+            bound = dominators + eds2.sum(axis=0)
+        else:
+            families = disjoint_system_families(all_systems)
+            family_sums = np.stack(
+                [eds2[list(family)].sum(axis=0) for family in families]
+            )
+            bound = dominators + family_sums.max(axis=0)
+        layers = bound + 1
     if refine == "peel":
-        layers = np.maximum(layers, shell_peel_layers(pts))
+        with obs.timed("build.phase.refine"):
+            layers = np.maximum(layers, shell_peel_layers(pts))
     return layers.astype(np.intp)
+
+
+def _wedges_from_levels(a_levels: np.ndarray, b_levels: np.ndarray):
+    """Wedge sizes from nested level-region sizes (shared by pipelines).
+
+    ``|I_i| = |a_i| - |a_{i-1}|`` with ``a_0`` empty and ``a_B`` the
+    whole subspace, and ``|III_i| = |b_{B-i}| - |b_{B+1-i}|`` with
+    ``b_B`` empty and ``b_0`` the whole subspace.
+    """
+    i_wedges = np.diff(a_levels, axis=1)  # column i-1 holds |I_i|
+    # III_i = b_{B-i} - b_{B+1-i}: reverse the level axis then diff.
+    iii_wedges = np.diff(b_levels[:, ::-1], axis=1)
+
+    # Strict counting can make nested-region counts non-monotone only
+    # through boundary ties; clamp to keep wedge sizes non-negative
+    # (clamping discards pair opportunities, preserving soundness).
+    np.clip(i_wedges, 0, None, out=i_wedges)
+    np.clip(iii_wedges, 0, None, out=iii_wedges)
+    return i_wedges, iii_wedges
 
 
 def wedge_counts(points, pair, n_partitions, counting="auto"):
     """Per-tuple wedge sizes ``(|I_i|, |III_i|)`` for one pair system.
 
-    Wedge sizes are differences of nested level-region sizes:
-    ``|I_i| = |a_i| - |a_{i-1}|`` with ``a_0`` empty and ``a_B`` the
-    whole subspace, and ``|III_i| = |b_{B-i}| - |b_{B+1-i}|`` with
-    ``b_B`` empty and ``b_0`` the whole subspace.  Each level size is
-    one dominance-factor pass over a transformed copy of the data.
+    Each level size is one dominance-factor pass over a transformed
+    copy of the data (the serial schedule; the parallel pipeline gets
+    the same level sizes from one threshold sweep per side).
 
     Returns two ``(n, B)`` arrays.
     """
@@ -169,17 +354,7 @@ def wedge_counts(points, pair, n_partitions, counting="auto"):
         subspace_transform(pts, pair, "b"), method=counting
     )
     # b_levels[:, b] stays 0 (b_B is empty by definition).
-
-    i_wedges = np.diff(a_levels, axis=1)  # column i-1 holds |I_i|
-    # III_i = b_{B-i} - b_{B+1-i}: reverse the level axis then diff.
-    iii_wedges = np.diff(b_levels[:, ::-1], axis=1)
-
-    # Strict counting can make nested-region counts non-monotone only
-    # through boundary ties; clamp to keep wedge sizes non-negative
-    # (clamping discards pair opportunities, preserving soundness).
-    np.clip(i_wedges, 0, None, out=i_wedges)
-    np.clip(iii_wedges, 0, None, out=iii_wedges)
-    return i_wedges, iii_wedges
+    return _wedges_from_levels(a_levels, b_levels)
 
 
 def pair_eds2_bound(i_wedges, iii_wedges, matching="greedy"):

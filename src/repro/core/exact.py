@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..geometry.weights import sample_simplex, simplex_grid
 
 __all__ = [
@@ -58,19 +59,24 @@ def exact_robust_layers(points: np.ndarray) -> np.ndarray:
     n, d = pts.shape
     if n == 0:
         return np.zeros(0, dtype=np.intp)
+    obs.inc("exact.builds")
+    obs.inc("exact.tuples", n)
     if d == 1:
-        order = np.lexsort((np.arange(n), pts[:, 0]))
-        layers = np.empty(n, dtype=np.intp)
-        layers[order] = np.arange(1, n + 1)
-        return layers
+        with obs.timed("exact.sort_1d"):
+            order = np.lexsort((np.arange(n), pts[:, 0]))
+            layers = np.empty(n, dtype=np.intp)
+            layers[order] = np.arange(1, n + 1)
+            return layers
     if d == 2:
-        return np.array(
-            [_minimal_rank_2d(pts, t) for t in range(n)], dtype=np.intp
-        )
+        with obs.timed("exact.sweep_2d"):
+            return np.array(
+                [_minimal_rank_2d(pts, t) for t in range(n)], dtype=np.intp
+            )
     if d == 3:
-        return np.array(
-            [_minimal_rank_3d(pts, t) for t in range(n)], dtype=np.intp
-        )
+        with obs.timed("exact.arrangement_3d"):
+            return np.array(
+                [_minimal_rank_3d(pts, t) for t in range(n)], dtype=np.intp
+            )
     raise ValueError(
         "exact robust layers are implemented for d <= 3 "
         "(the paper's experiments all use d = 3); "
@@ -127,6 +133,11 @@ def _as_points(points: np.ndarray) -> np.ndarray:
     pts = np.asarray(points, dtype=float)
     if pts.ndim != 2:
         raise ValueError(f"points must be a 2-D array; got shape {pts.shape}")
+    if pts.size and not np.isfinite(pts).all():
+        raise ValueError(
+            "points must be finite; NaN or infinite attribute values "
+            "have no defined rank under linear queries"
+        )
     return pts
 
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from .fenwick import FenwickTree, compress_values
 
 __all__ = [
@@ -86,18 +87,23 @@ def count_dominators(points: np.ndarray, method: str = "auto") -> np.ndarray:
         return np.zeros(0, dtype=np.intp)
     if method == "auto":
         if d == 1:
-            return _count_one_dim(pts)
-        if d == 2 and columns_duplicate_free(pts):
+            method = "one_dim"
+        elif d == 2 and columns_duplicate_free(pts):
             method = "sweep"
         else:
             method = "blocked"
-    if method == "naive":
-        return count_dominators_naive(pts)
-    if method == "blocked":
-        return count_dominators_blocked(pts)
-    if method == "sweep":
-        return count_dominators_sweep(pts)
-    return count_dominators_divide_conquer(pts)
+    obs.inc("df.passes")
+    obs.inc("df.tuples", n)
+    with obs.timed(f"df.{method}"):
+        if method == "one_dim":
+            return _count_one_dim(pts)
+        if method == "naive":
+            return count_dominators_naive(pts)
+        if method == "blocked":
+            return count_dominators_blocked(pts)
+        if method == "sweep":
+            return count_dominators_sweep(pts)
+        return count_dominators_divide_conquer(pts)
 
 
 def _count_one_dim(pts: np.ndarray) -> np.ndarray:

@@ -17,10 +17,12 @@ Three physical plans, mirroring the paper's deployment story:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from .. import obs
 from ..queries.ranking import LinearQuery
 from .catalog import Catalog
 from .relation import Relation
@@ -44,6 +46,13 @@ class ExecutionResult:
     blocks_read: int
     plan: str
     extra: dict = field(default_factory=dict)
+
+    @property
+    def metrics(self) -> dict:
+        """Per-query observability snapshot (``query.*`` counters and
+        timers; see :mod:`repro.obs`).  Empty for ``explain`` results.
+        """
+        return self.extra.get("metrics", {})
 
 
 def materialize_layers(
@@ -74,6 +83,10 @@ class TopKExecutor:
         self._block_size = block_size
         self._stores: dict[str, BlockStore] = {}
         self._planner = None
+        #: Cumulative ``query.*`` metrics across every query this
+        #: executor has run (per-query snapshots ride on each
+        #: :attr:`ExecutionResult.metrics`).
+        self.metrics = obs.Metrics()
 
     def register_store(self, table_name: str, store: BlockStore) -> None:
         """Associate a sequential store (e.g. layer-ordered) with a table."""
@@ -144,6 +157,22 @@ class TopKExecutor:
         query = parse(statement) if isinstance(statement, str) else statement
         if query.explain:
             return self._explain_result(query)
+        local = obs.Metrics()
+        with obs.collect(local):
+            started = time.perf_counter()
+            result = self._execute_parsed(query)
+            elapsed = time.perf_counter() - started
+            plan_kind = result.plan.split("(", 1)[0]
+            local.add_time(f"query.{plan_kind}", elapsed)
+            local.inc("query.count")
+            local.inc("query.retrieved", result.retrieved)
+            local.inc("query.blocks_read", result.blocks_read)
+        self.metrics.merge(local)
+        extra = dict(result.extra)
+        extra["metrics"] = local.as_dict()
+        return replace(result, extra=extra)
+
+    def _execute_parsed(self, query: ParsedQuery) -> ExecutionResult:
         relation = self._catalog.table(query.table)
 
         ranked_attrs = list(query.order_by)

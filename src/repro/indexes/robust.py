@@ -13,7 +13,8 @@ import time
 
 import numpy as np
 
-from ..core.appri import appri_layers
+from .. import obs
+from ..core.appri import appri_build
 from ..core.exact import exact_robust_layers
 from ..core.index import layer_offsets, layer_order
 from ..queries.ranking import LinearQuery
@@ -32,8 +33,12 @@ class RobustIndex(RankedIndex):
     n_partitions:
         The paper's B wedge-partition count (default 10, the paper's
         operating point after Figures 6-7).
-    counting, matching:
-        Forwarded to :func:`repro.core.appri.appri_layers`.
+    counting, matching, workers, chunk_size:
+        Forwarded to :func:`repro.core.appri.appri_build`;
+        ``workers > 1`` selects the chunked parallel pipeline
+        (identical layers, faster build).  Per-phase build metrics are
+        kept on :attr:`build_metrics` and summarized by
+        :meth:`build_info`.
 
     Examples
     --------
@@ -58,21 +63,28 @@ class RobustIndex(RankedIndex):
         matching: str = "greedy",
         systems: str = "complementary",
         refine: str | None = None,
+        workers: int = 1,
+        chunk_size: int | None = None,
     ):
         super().__init__(points)
         started = time.perf_counter()
-        self._layers = appri_layers(
+        build = appri_build(
             self._points,
             n_partitions=n_partitions,
             counting=counting,
             matching=matching,
             systems=systems,
             refine=refine,
+            workers=workers,
+            chunk_size=chunk_size,
         )
+        self._layers = build.layers
+        self._build_metrics = build.metrics
         self._build_seconds = time.perf_counter() - started
         self._n_partitions = n_partitions
         self._systems = systems
         self._refine = refine
+        self._workers = workers
         self._order = layer_order(self._layers)
         self._offsets = layer_offsets(self._layers)
 
@@ -80,6 +92,13 @@ class RobustIndex(RankedIndex):
     def layers(self) -> np.ndarray:
         """1-based layer number per tuple."""
         return self._layers
+
+    @property
+    def build_metrics(self) -> dict:
+        """Per-phase construction metrics (``build.*``; see
+        :mod:`repro.obs`).  Empty for loaded indexes (no rebuild ran).
+        """
+        return getattr(self, "_build_metrics", {})
 
     def retrieval_cost(self, k: int) -> int:
         """Tuples a top-k query reads: the size of the first k layers."""
@@ -94,11 +113,15 @@ class RobustIndex(RankedIndex):
         k = self._check_query(query, k)
         if k == 0:
             return QueryResult(np.zeros(0, dtype=np.intp), 0, 0)
-        candidates = self.candidates_for_k(k)
-        tids = rank_candidates(self._points, candidates, query, k)
-        layers_scanned = (
-            int(self._layers[candidates].max()) if candidates.size else 0
-        )
+        with obs.timed("index.query"):
+            candidates = self.candidates_for_k(k)
+            tids = rank_candidates(self._points, candidates, query, k)
+            layers_scanned = (
+                int(self._layers[candidates].max()) if candidates.size else 0
+            )
+        obs.inc("index.queries")
+        obs.inc("index.candidates", int(candidates.size))
+        obs.inc("index.layers_scanned", layers_scanned)
         return QueryResult(tids, int(candidates.size), layers_scanned)
 
     def build_info(self) -> dict:
@@ -107,8 +130,10 @@ class RobustIndex(RankedIndex):
             "n_partitions": self._n_partitions,
             "systems": getattr(self, "_systems", "complementary"),
             "refine": getattr(self, "_refine", None),
+            "workers": getattr(self, "_workers", 1),
             "n_layers": int(self._layers.max()) if self.size else 0,
             "build_seconds": self._build_seconds,
+            "build_metrics": self.build_metrics,
         }
 
     def query_batch(self, queries, k: int) -> list[QueryResult]:

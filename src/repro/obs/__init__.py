@@ -1,0 +1,106 @@
+"""Observability: counters, timers and per-phase build/query metrics.
+
+Library code is instrumented with the module-level helpers
+(:func:`inc`, :func:`timed`), which are near-free no-ops unless a
+collector is active.  A caller opts in by wrapping work in
+:func:`collect`::
+
+    from repro import obs
+
+    with obs.collect() as metrics:
+        index = RobustIndex(data)
+        index.query(query, 10)
+    print(metrics.summary())
+
+Collectors nest: when an inner :func:`collect` exits it folds its
+metrics into the enclosing collector (pass ``propagate=False`` to keep
+them private).  Worker processes cannot see the parent's collector, so
+parallel build tasks collect locally and return ``Metrics.as_dict()``
+snapshots that the coordinating process merges — see
+:mod:`repro.core.pipeline`.
+
+Metric names are dotted paths; the prefixes in use:
+
+``build.*``
+    AppRI construction phases (dominators / levels / matching /
+    aggregate / refine) plus task and worker accounting.
+``df.*``
+    Dominance-factor counting engines (passes, tuples, per-engine
+    time).
+``exact.*``
+    The exact robust-layer solvers.
+``query.*``
+    Executor query path (per-plan time, tuples retrieved, blocks).
+``index.*``
+    Index-level query counters.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from .metrics import Metrics
+
+__all__ = [
+    "Metrics",
+    "active_metrics",
+    "collect",
+    "inc",
+    "add_time",
+    "timed",
+]
+
+_ACTIVE: ContextVar[Metrics | None] = ContextVar("repro_obs_active", default=None)
+
+
+def active_metrics() -> Metrics | None:
+    """The collector currently in scope, or ``None``."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def collect(metrics: Metrics | None = None, propagate: bool = True):
+    """Install a collector for the ``with`` block and yield it.
+
+    On exit the collected metrics are merged into any enclosing
+    collector unless ``propagate=False``.
+    """
+    target = metrics if metrics is not None else Metrics()
+    outer = _ACTIVE.get()
+    token = _ACTIVE.set(target)
+    try:
+        yield target
+    finally:
+        _ACTIVE.reset(token)
+        if propagate and outer is not None and outer is not target:
+            outer.merge(target)
+
+
+def inc(name: str, value: int = 1) -> None:
+    """Increment ``name`` on the active collector, if any."""
+    metrics = _ACTIVE.get()
+    if metrics is not None:
+        metrics.inc(name, value)
+
+
+def add_time(name: str, seconds: float) -> None:
+    """Accumulate seconds into ``name`` on the active collector, if any."""
+    metrics = _ACTIVE.get()
+    if metrics is not None:
+        metrics.add_time(name, seconds)
+
+
+@contextmanager
+def timed(name: str):
+    """Time the wrapped block into the active collector (no-op without)."""
+    metrics = _ACTIVE.get()
+    if metrics is None:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        metrics.add_time(name, time.perf_counter() - started)

@@ -1,0 +1,99 @@
+"""Counters and timers for build/query instrumentation.
+
+A :class:`Metrics` object is a flat bag of named integer counters and
+float timer accumulations.  Names are dotted paths grouped by prefix
+(``build.*`` for index construction phases, ``df.*`` for dominance
+counting, ``query.*`` for the executor's query path); the convention is
+documented in DESIGN.md and surfaced by the ``repro stats`` CLI.
+
+Instances are cheap, explicitly mergeable (worker processes return
+their metrics as plain dicts the parent folds back in), and render a
+small aligned report via :meth:`Metrics.summary`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["Metrics"]
+
+
+class Metrics:
+    """A mutable registry of named counters and phase timers."""
+
+    __slots__ = ("counters", "timers")
+
+    def __init__(self):
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, float] = {}
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into timer ``name``."""
+        self.timers[name] = self.timers.get(name, 0.0) + float(seconds)
+
+    @contextmanager
+    def timeit(self, name: str):
+        """Context manager accumulating the wrapped block's wall time."""
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add_time(name, time.perf_counter() - started)
+
+    def merge(self, other: "Metrics | dict") -> "Metrics":
+        """Fold another metrics object (or its ``as_dict`` form) in."""
+        if isinstance(other, Metrics):
+            counters, timers = other.counters, other.timers
+        else:
+            counters = other.get("counters", {})
+            timers = other.get("timers", {})
+        for name, value in counters.items():
+            self.inc(name, value)
+        for name, value in timers.items():
+            self.add_time(name, value)
+        return self
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (picklable, JSON-friendly)."""
+        return {"counters": dict(self.counters), "timers": dict(self.timers)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Metrics":
+        metrics = cls()
+        metrics.merge(data)
+        return metrics
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.timers)
+
+    def __repr__(self) -> str:
+        return (
+            f"Metrics(counters={len(self.counters)}, "
+            f"timers={len(self.timers)})"
+        )
+
+    def summary(self, title: str | None = None) -> str:
+        """Aligned text report: timers (descending), then counters."""
+        lines: list[str] = []
+        if title:
+            lines.append(title)
+        if self.timers:
+            width = max(len(n) for n in self.timers)
+            lines.append("timers (seconds):")
+            for name, value in sorted(
+                self.timers.items(), key=lambda kv: -kv[1]
+            ):
+                lines.append(f"  {name:<{width}}  {value:10.4f}")
+        if self.counters:
+            width = max(len(n) for n in self.counters)
+            lines.append("counters:")
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"  {name:<{width}}  {value:>12,d}")
+        if not self.timers and not self.counters:
+            lines.append("(no metrics recorded)")
+        return "\n".join(lines)

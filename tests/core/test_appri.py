@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.appri import appri_layers, pair_eds2_bound, wedge_counts
+from repro.core.appri import (
+    appri_build,
+    appri_layers,
+    pair_eds2_bound,
+    wedge_counts,
+)
 from repro.core.exact import exact_robust_layers
 from repro.core.index import violating_tids
 from repro.core.partitioning import pair_systems
@@ -36,8 +41,57 @@ class TestValidation:
         with pytest.raises(ValueError, match="refine"):
             appri_layers(np.ones((3, 2)), refine="magic")
 
+    def test_rejects_nan_attributes(self):
+        pts = np.ones((3, 2))
+        pts[1, 0] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            appri_layers(pts)
+
+    @pytest.mark.parametrize("bad", [np.inf, -np.inf])
+    def test_rejects_infinite_attributes(self, bad):
+        pts = np.ones((4, 3))
+        pts[2, 1] = bad
+        with pytest.raises(ValueError, match="finite"):
+            appri_layers(pts)
+
+    @pytest.mark.parametrize("workers", [0, -1, 1.5])
+    def test_rejects_bad_workers(self, workers):
+        with pytest.raises(ValueError, match="workers"):
+            appri_layers(np.ones((3, 2)), workers=workers)
+
+    @pytest.mark.parametrize("chunk_size", [0, -4, 2.5])
+    def test_rejects_bad_chunk_size(self, chunk_size):
+        with pytest.raises(ValueError, match="chunk_size"):
+            appri_layers(np.ones((3, 2)), workers=2, chunk_size=chunk_size)
+
+    def test_rejects_non_integer_partitions(self):
+        with pytest.raises(ValueError, match="n_partitions"):
+            appri_layers(np.ones((3, 2)), n_partitions=2.5)
+
     def test_empty_relation(self):
         assert appri_layers(np.zeros((0, 3))).size == 0
+        assert appri_layers(np.zeros((0, 3)), workers=4).size == 0
+
+
+class TestBuildResult:
+    def test_appri_build_returns_layers_and_metrics(self):
+        pts = np.random.default_rng(0).random((40, 3))
+        build = appri_build(pts, n_partitions=5, workers=2)
+        assert np.array_equal(build.layers, appri_layers(pts, n_partitions=5))
+        assert build.workers == 2
+        assert build.metrics["counters"]["build.n"] == 40
+        assert "build.total" in build.metrics["timers"]
+        assert "build.phase.levels" in build.metrics["timers"]
+
+    def test_serial_build_records_phases(self):
+        pts = np.random.default_rng(1).random((30, 2))
+        build = appri_build(pts, n_partitions=4)
+        timers = build.metrics["timers"]
+        for phase in ("build.total", "build.phase.dominators",
+                      "build.phase.levels", "build.phase.matching",
+                      "build.phase.aggregate"):
+            assert phase in timers
+        assert build.metrics["counters"]["df.passes"] > 0
 
 
 class TestSmallCases:

@@ -142,6 +142,15 @@ class TestErrorsAndBounds:
         with pytest.raises(IndexError):
             minimal_rank(np.ones((3, 2)), 5)
 
+    def test_rejects_nan_and_inf(self):
+        pts = np.ones((4, 2))
+        pts[0, 1] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            exact_robust_layers(pts)
+        pts[0, 1] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            minimal_rank(pts, 0)
+
     def test_empty_relation(self):
         assert exact_robust_layers(np.zeros((0, 2))).size == 0
 

@@ -1,0 +1,152 @@
+"""Unit tests for the chunked parallel build pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import pipeline
+from repro.core.appri import appri_build, wedge_counts
+from repro.core.partitioning import level_transform, pair_systems
+from repro.dstruct.dominance import count_dominators
+from repro.geometry.weights import gamma_levels
+from repro.obs import Metrics
+
+
+class TestPlanChunks:
+    def test_covers_range_exactly(self):
+        for n in (1, 5, 512, 513, 5000):
+            for workers in (1, 2, 8):
+                chunks = pipeline.plan_chunks(n, workers)
+                assert chunks[0][0] == 0
+                assert chunks[-1][1] == n
+                for (_, prev_hi), (lo, _) in zip(chunks, chunks[1:]):
+                    assert prev_hi == lo
+
+    def test_empty_input(self):
+        assert pipeline.plan_chunks(0, 4) == []
+
+    def test_explicit_chunk_size(self):
+        chunks = pipeline.plan_chunks(10, 2, chunk_size=3)
+        assert chunks == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_chunk_size_clamped_to_n(self):
+        assert pipeline.plan_chunks(4, 2, chunk_size=100) == [(0, 4)]
+
+
+class TestLevelCountsRange:
+    @pytest.mark.parametrize("side", ["a", "b"])
+    @pytest.mark.parametrize("tied", [False, True])
+    def test_matches_serial_level_passes(self, side, tied):
+        rng = np.random.default_rng(5)
+        if tied:
+            pts = rng.integers(0, 4, size=(60, 3)).astype(float)
+        else:
+            pts = rng.random((60, 3))
+        b = 7
+        gammas = gamma_levels(b)
+        for pair in pair_systems(3, include_partial=False):
+            # Ground truth: the serial schedule's per-level passes.
+            expect = np.stack(
+                [
+                    count_dominators(
+                        level_transform(pts, pair, float(g), side)
+                    )
+                    for g in gammas
+                ],
+                axis=1,
+            )
+            got = np.zeros((60, b + 1), dtype=np.int64)
+            for lo, hi in pipeline.plan_chunks(60, 2, chunk_size=17):
+                ids, counts = pipeline.level_counts_range(
+                    pts, pair, b, side, lo, hi
+                )
+                got[ids] += counts
+            assert np.array_equal(got[:, 1:b], expect)
+
+    def test_b_equals_one_returns_zeros(self):
+        pts = np.random.default_rng(0).random((10, 2))
+        pair = pair_systems(2, include_partial=False)[0]
+        ids, counts = pipeline.level_counts_range(pts, pair, 1, "a", 0, 10)
+        assert counts.shape == (10, 2)
+        assert not counts.any()
+
+
+class TestBuildLevelData:
+    def test_matches_serial_wedge_counts(self):
+        rng = np.random.default_rng(11)
+        pts = rng.random((80, 3))
+        b = 6
+        dominators, level_data, systems = pipeline.build_level_data(
+            pts, b, include_partial=True, workers=2, chunk_size=25
+        )
+        assert np.array_equal(dominators, count_dominators(pts))
+        assert len(level_data) == len(pair_systems(3, include_partial=True))
+        for system, (a_levels, b_levels) in zip(systems, level_data):
+            serial_i, serial_iii = wedge_counts(pts, system, b)
+            got_i = np.clip(np.diff(a_levels, axis=1), 0, None)
+            got_iii = np.clip(np.diff(b_levels[:, ::-1], axis=1), 0, None)
+            assert np.array_equal(got_i, serial_i)
+            assert np.array_equal(got_iii, serial_iii)
+
+    def test_metrics_record_tasks_and_chunks(self):
+        pts = np.random.default_rng(3).random((40, 2))
+        metrics = Metrics()
+        pipeline.build_level_data(
+            pts, 4, include_partial=False, workers=2, chunk_size=20,
+            metrics=metrics,
+        )
+        assert metrics.counters["build.chunks"] == 2
+        # 1 dom + per (system, side): 1 sub + 2 lev chunks.
+        assert metrics.counters["build.tasks"] == 1 + 2 * (1 + 2)
+        assert "build.phase.levels" in metrics.timers
+
+    def test_pool_engages_when_forced(self, monkeypatch):
+        monkeypatch.setattr(pipeline, "POOL_MIN_N", 0)
+        monkeypatch.setattr(pipeline, "_usable_cpus", lambda: 8)
+        pts = np.random.default_rng(9).random((50, 3))
+        metrics = Metrics()
+        dominators, level_data, _ = pipeline.build_level_data(
+            pts, 5, include_partial=False, workers=2, chunk_size=20,
+            metrics=metrics,
+        )
+        assert metrics.counters["build.pool_used"] == 1
+        serial_dom, serial_level, _ = pipeline.build_level_data(
+            pts, 5, include_partial=False, workers=1
+        )
+        assert np.array_equal(dominators, serial_dom)
+        for (pa, pb), (sa, sb) in zip(level_data, serial_level):
+            assert np.array_equal(pa, sa)
+            assert np.array_equal(pb, sb)
+
+    def test_pool_bypassed_on_single_core(self, monkeypatch):
+        monkeypatch.setattr(pipeline, "POOL_MIN_N", 0)
+        monkeypatch.setattr(pipeline, "_usable_cpus", lambda: 1)
+        pts = np.random.default_rng(2).random((30, 2))
+        metrics = Metrics()
+        pipeline.build_level_data(
+            pts, 3, include_partial=False, workers=4, metrics=metrics
+        )
+        assert metrics.counters["build.pool_used"] == 0
+
+
+class TestBoundaryExactness:
+    def test_tie_heavy_lattice_identical_to_serial(self):
+        # Integer lattices put every gamma threshold exactly on a
+        # constraint boundary — the worst case for the float sweep.
+        rng = np.random.default_rng(21)
+        pts = rng.integers(0, 3, size=(70, 3)).astype(float)
+        serial = appri_build(pts, n_partitions=9).layers
+        chunked = appri_build(pts, n_partitions=9, workers=3).layers
+        assert np.array_equal(serial, chunked)
+
+    def test_recheck_counter_fires_on_boundary_data(self):
+        # Duplicated coordinates force gamma* to sit exactly on wedge
+        # boundaries, so some pairs must take the exact-recheck path.
+        pts = np.array(
+            [[float(i % 4), float((i * 3) % 4)] for i in range(24)]
+        )
+        build = appri_build(pts, n_partitions=8, workers=2)
+        serial = appri_build(pts, n_partitions=8)
+        assert np.array_equal(build.layers, serial.layers)
+        assert build.metrics["counters"].get("build.recheck_pairs", 0) > 0

@@ -75,6 +75,17 @@ class TestQueries:
         assert info["n_partitions"] == 7
         assert info["systems"] == "complementary"
         assert info["n_layers"] >= 1
+        assert info["workers"] == 1
+        assert "build.total" in info["build_metrics"]["timers"]
+
+    def test_parallel_build_matches_serial(self, small_3d):
+        serial = RobustIndex(small_3d, n_partitions=6)
+        parallel = RobustIndex(
+            small_3d, n_partitions=6, workers=3, chunk_size=20
+        )
+        assert np.array_equal(serial.layers, parallel.layers)
+        assert parallel.build_info()["workers"] == 3
+        assert parallel.build_metrics["counters"]["build.workers"] == 3
 
 
 class TestExactRobustIndex:

@@ -1,0 +1,113 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import Metrics
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        m = Metrics()
+        m.inc("a")
+        m.inc("a", 4)
+        m.inc("b", 0)
+        assert m.counters == {"a": 5, "b": 0}
+
+    def test_timers_accumulate(self):
+        m = Metrics()
+        m.add_time("t", 0.5)
+        m.add_time("t", 0.25)
+        assert m.timers["t"] == pytest.approx(0.75)
+
+    def test_timeit_records_positive_time(self):
+        m = Metrics()
+        with m.timeit("phase"):
+            sum(range(1000))
+        assert m.timers["phase"] >= 0.0
+
+    def test_merge_metrics_and_dicts(self):
+        a = Metrics()
+        a.inc("x", 2)
+        a.add_time("t", 1.0)
+        b = Metrics()
+        b.inc("x", 3)
+        b.inc("y")
+        b.add_time("t", 0.5)
+        a.merge(b)
+        a.merge({"counters": {"x": 1}, "timers": {"u": 2.0}})
+        assert a.counters == {"x": 6, "y": 1}
+        assert a.timers == pytest.approx({"t": 1.5, "u": 2.0})
+
+    def test_as_dict_round_trip(self):
+        m = Metrics()
+        m.inc("c", 7)
+        m.add_time("t", 0.125)
+        clone = Metrics.from_dict(m.as_dict())
+        assert clone.counters == m.counters
+        assert clone.timers == m.timers
+
+    def test_bool_and_repr(self):
+        m = Metrics()
+        assert not m
+        m.inc("c")
+        assert m
+        assert "counters=1" in repr(m)
+
+    def test_summary_lists_everything(self):
+        m = Metrics()
+        m.inc("build.n", 100)
+        m.add_time("build.total", 1.5)
+        text = m.summary("title")
+        assert "title" in text
+        assert "build.n" in text
+        assert "build.total" in text
+        assert Metrics().summary() == "(no metrics recorded)"
+
+
+class TestCollector:
+    def test_helpers_are_noops_without_collector(self):
+        assert obs.active_metrics() is None
+        obs.inc("ignored")
+        obs.add_time("ignored", 1.0)
+        with obs.timed("ignored"):
+            pass
+        assert obs.active_metrics() is None
+
+    def test_collect_captures_helpers(self):
+        with obs.collect() as m:
+            assert obs.active_metrics() is m
+            obs.inc("n", 2)
+            obs.add_time("t", 0.5)
+            with obs.timed("u"):
+                pass
+        assert m.counters == {"n": 2}
+        assert m.timers["t"] == pytest.approx(0.5)
+        assert "u" in m.timers
+        assert obs.active_metrics() is None
+
+    def test_nested_collectors_propagate(self):
+        with obs.collect() as outer:
+            obs.inc("o")
+            with obs.collect() as inner:
+                obs.inc("i")
+            assert obs.active_metrics() is outer
+        assert inner.counters == {"i": 1}
+        assert outer.counters == {"o": 1, "i": 1}
+
+    def test_propagate_false_keeps_metrics_private(self):
+        with obs.collect() as outer:
+            with obs.collect(propagate=False) as inner:
+                obs.inc("private")
+        assert inner.counters == {"private": 1}
+        assert "private" not in outer.counters
+
+    def test_collect_into_existing_metrics(self):
+        m = Metrics()
+        m.inc("pre", 1)
+        with obs.collect(m) as got:
+            assert got is m
+            obs.inc("pre", 2)
+        assert m.counters == {"pre": 3}

@@ -128,3 +128,35 @@ class TestFigureCommand:
     def test_figure_sizes_variant(self, capsys):
         assert main(["figure", "fig8", "--n", "160"]) == 0
         assert "construction seconds" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    def test_stats_synthetic(self, capsys):
+        assert main([
+            "stats", "--n", "200", "--d", "3", "--partitions", "5",
+            "--workers", "2", "--queries", "20", "-k", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "build metrics" in out
+        assert "build.total" in out
+        assert "build.phase.levels" in out
+        assert "query metrics" in out
+        assert "index.candidates" in out
+        assert "mean candidates per query" in out
+
+    def test_stats_from_csv(self, csv_file, capsys):
+        assert main([
+            "stats", "--data", str(csv_file), "--normalize",
+            "--partitions", "4", "--queries", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "n=120" in out
+        assert "workers=1" in out
+
+    def test_build_accepts_workers(self, tmp_path, csv_file, capsys):
+        out_path = tmp_path / "idx.npz"
+        assert main([
+            "build", str(csv_file), "-o", str(out_path),
+            "--partitions", "4", "--workers", "2",
+        ]) == 0
+        assert out_path.exists()
