@@ -165,6 +165,7 @@ def _cmd_stats(args) -> int:
     from repro import obs
     from repro.data import minmax_normalize, uniform
     from repro.data.io import load_csv
+    from repro.engine.cache import ResultCache, cached_query
     from repro.geometry.weights import sample_simplex
     from repro.indexes.robust import RobustIndex
     from repro.queries.ranking import LinearQuery
@@ -189,10 +190,16 @@ def _cmd_stats(args) -> int:
         )
     )
 
+    workload = [
+        LinearQuery(weights)
+        for weights in sample_simplex(
+            data.shape[1], args.queries, seed=args.seed
+        )
+    ]
     query_metrics = obs.Metrics()
     with obs.collect(query_metrics):
-        for weights in sample_simplex(data.shape[1], args.queries, seed=args.seed):
-            index.query(LinearQuery(weights), args.k)
+        for query in workload:
+            index.query(query, args.k)
     print()
     print(
         query_metrics.summary(
@@ -206,6 +213,41 @@ def _cmd_stats(args) -> int:
             f"\nmean candidates per query: {candidates / queries:.1f} "
             f"of {index.size} tuples "
             f"({100.0 * candidates / (queries * index.size):.1f}% retrieved)"
+        )
+
+    index.query_batch(workload[:8], args.k)  # warm the GEMM path
+    batch_metrics = obs.Metrics()
+    with obs.collect(batch_metrics):
+        index.query_batch(workload, args.k)
+    print()
+    print(
+        batch_metrics.summary(
+            f"batch metrics (same {args.queries} queries, one "
+            "vectorized query_batch call):"
+        )
+    )
+    loop_s = query_metrics.timers.get("index.query", 0.0)
+    batch_s = batch_metrics.timers.get("index.batch", 0.0)
+    if batch_s > 0:
+        print(f"\nbatch speedup over the per-query loop: {loop_s / batch_s:.1f}x")
+
+    if args.cache_size > 0:
+        # Cache-warm serving demo: one cold pass at k (misses), one
+        # pass at a shallower k served by truncating the deep answers.
+        cache = ResultCache(args.cache_size)
+        shallow = max(1, args.k // 2)
+        cache_metrics = obs.Metrics()
+        with obs.collect(cache_metrics):
+            for query in workload:
+                cached_query(cache, index, query, args.k, scope="stats")
+            for query in workload:
+                cached_query(cache, index, query, shallow, scope="stats")
+        print()
+        print(
+            cache_metrics.summary(
+                f"cache metrics (capacity {args.cache_size}; cold top-"
+                f"{args.k} pass, then top-{shallow} served by truncation):"
+            )
         )
     return 0
 
@@ -317,6 +359,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="random top-k queries for the query-path stats")
     p.add_argument("-k", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="result-cache capacity for the cache-serving "
+                        "report (0 disables the cache section)")
 
     return parser
 

@@ -1,0 +1,243 @@
+"""Vectorized top-k selection kernels for the query-serving path.
+
+Every ranked answer in this library is ordered by ascending
+``(score, tid)`` — the paper's tie rule (no duplicate attribute values
+assumed, remaining ties broken by tuple id).  The reference
+realization is a full ``np.lexsort((tids, scores))`` over the whole
+candidate set, which costs ``O(C log C)`` per query even when only the
+top ``k << C`` entries are wanted.
+
+The kernels here produce *bit-identical* answers with partial
+selection instead:
+
+:func:`topk_select`
+    One query.  ``np.argpartition`` isolates the k cheapest candidates
+    in ``O(C)``, boundary ties at the k-th score are resolved exactly
+    as the lexsort would (smallest tids win), and only the k survivors
+    are sorted.
+
+:func:`batch_topk`
+    Q queries at once over a shared candidate set — one ``(Q, C)``
+    score matrix in, one ``(Q, k)`` tid matrix out.  Two regimes:
+
+    * the default row-parallel partition: ``argpartition`` per row plus
+      an O(Q) clean-row check (the (k+1)-th order statistic strictly
+      above the k-th means no tied candidate was cut off);
+    * with a ``scratch`` dict and a large candidate set, a *masked*
+      path that sidesteps the per-row O(C log k) partition entirely:
+      each row's k-th score over a small probe window bounds the true
+      k-th score from above, a boolean threshold mask shrinks the
+      problem to the few candidates at or below that bound, and one
+      composite-key argsort orders every survivor of every row at
+      once.  ``scratch`` persists the working buffers across calls —
+      on repeated batches this avoids fresh large allocations (and the
+      page faults they cost) on the hot path.
+
+Correctness of the boundary handling: the k-th order statistic of the
+scores is ``kth``; the lexsort's top k are exactly all candidates with
+``score < kth`` (provably fewer than k) plus the smallest-tid
+candidates with ``score == kth`` filling the remainder.  Both batch
+regimes detect rows where float ties (or, on the masked path, key
+collapses) make the vectorized answer ambiguous and re-answer exactly
+those rows with :func:`topk_select`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["topk_select", "batch_topk"]
+
+#: Below this ratio of k to candidate count the partition prefilter
+#: wins; above it a full lexsort is both simpler and faster.
+_PARTITION_RATIO = 4
+
+#: Leading score columns used by the masked batch path to bound each
+#: row's k-th score.  Because candidate columns arrive in layer order
+#: (best tuples first), the k-th smallest of this window is a tight
+#: upper bound on the true k-th score, and the threshold mask keeps
+#: only a few multiples of k survivors per row.
+_PROBE = 256
+
+
+def topk_select(scores: np.ndarray, tids: np.ndarray, k: int) -> np.ndarray:
+    """Top-k ``tids`` by ascending ``(score, tid)``.
+
+    Exactly ``tids[np.lexsort((tids, scores))[:k]]``, computed with an
+    ``np.argpartition`` prefilter when ``k`` is small relative to the
+    candidate count.  ``k`` larger than the candidate count returns
+    the full ranking; ``k <= 0`` returns an empty array.
+    """
+    scores = np.asarray(scores, dtype=float)
+    tids = np.asarray(tids, dtype=np.intp)
+    n = scores.size
+    if k <= 0 or n == 0:
+        return np.zeros(0, dtype=np.intp)
+    k = min(int(k), n)
+    if k * _PARTITION_RATIO >= n:
+        order = np.lexsort((tids, scores))
+        return tids[order[:k]]
+    part = np.argpartition(scores, k - 1)[:k]
+    kth = scores[part].max()
+    below = np.flatnonzero(scores < kth)
+    tied = np.flatnonzero(scores == kth)
+    need = k - below.size
+    if tied.size > need:
+        keep = np.argpartition(tids[tied], need - 1)[:need] if need else []
+        tied = tied[keep] if need else tied[:0]
+    sel = np.concatenate([below, tied])
+    order = np.lexsort((tids[sel], scores[sel]))
+    return tids[sel][order]
+
+
+def _scratch_buffer(scratch: dict, name: str, size: int, dtype) -> np.ndarray:
+    """A flat reusable array of at least ``size`` entries of ``dtype``.
+
+    Grown (never shrunk) in ``scratch`` so repeated batches of similar
+    shape touch warm, already-faulted memory instead of paying the
+    allocator's page-fault tax on every multi-megabyte temporary.
+    """
+    buf = scratch.get(name)
+    if buf is None or buf.size < size or buf.dtype != dtype:
+        buf = np.empty(max(size, 1), dtype=dtype)
+        scratch[name] = buf
+    return buf[:size]
+
+
+def _masked_batch_topk(
+    scores: np.ndarray, tids: np.ndarray, k: int, scratch: dict
+) -> np.ndarray:
+    """The large-C batch path: threshold mask + one composite argsort.
+
+    Exactness argument, step by step:
+
+    * ``tau[q]`` is the k-th smallest score among the first ``_PROBE``
+      columns — the k-th order statistic of a subset, hence an upper
+      bound on row q's true k-th score.
+    * The mask ``scores <= tau`` therefore contains the whole true
+      top k *including every candidate tied at the k-th score* (those
+      sit exactly at the true k-th value, which is ``<= tau``), and at
+      least k entries per row (the probe window's own k smallest).
+    * Survivors are ordered by a composite key
+      ``row + 0.5 * rescale(score)``: a per-row monotone
+      non-decreasing float map, so sorting keys sorts scores — the
+      only risk is *collapses* (distinct scores rounding to one key)
+      and genuine score ties, both of which surface as equal adjacent
+      keys and route that row to the exact scalar kernel.
+    """
+    n_queries, n_candidates = scores.shape
+    probe = _PROBE
+    # Per-row score bound from the probe window (in-place partition on
+    # a reused buffer).
+    pbuf = _scratch_buffer(
+        scratch, "probe", n_queries * probe, np.float64
+    ).reshape(n_queries, probe)
+    np.copyto(pbuf, scores[:, :probe])
+    pbuf.partition(k - 1, axis=1)
+    tau = pbuf[:, k - 1]
+    # Threshold mask, padded to a whole number of 64-bit words so the
+    # survivor scan can test 64 candidates per comparison.
+    size = n_queries * n_candidates
+    padded = size + (-size) % 8
+    mbuf = _scratch_buffer(scratch, "mask", padded, np.bool_)
+    mbuf[size:] = False
+    mask = mbuf[:size].reshape(n_queries, n_candidates)
+    np.less_equal(scores, tau[:, None], out=mask)
+    words = np.flatnonzero(mbuf.view(np.uint64))
+    sub = np.flatnonzero(mbuf.reshape(-1, 8)[words])
+    flat = words[sub >> 3] * 8 + (sub & 7)
+    rows = flat // n_candidates
+    svals = scores.ravel()[flat]
+    counts = np.bincount(rows, minlength=n_queries)
+    starts = np.zeros(n_queries, dtype=np.intp)
+    np.cumsum(counts[:-1], out=starts[1:])
+    # Composite key: integer row index plus the row-rescaled score in
+    # [0, 0.5].  One quicksort over all survivors replaces a per-row
+    # (or 3-key lexsort) ordering pass.
+    rowmin = np.minimum.reduceat(svals, starts)
+    span = np.maximum.reduceat(svals, starts) - rowmin
+    span[span == 0] = 1.0
+    key = rows + (svals - rowmin[rows]) / span[rows] * 0.5
+    order = np.argsort(key)
+    flat_sorted = flat[order]
+    key_sorted = key[order]
+    take = starts[:, None] + np.arange(k)
+    head_keys = key_sorted[take]
+    out = tids[flat_sorted[take] % n_candidates]
+    # Ambiguity audit: equal adjacent keys inside a row's top k, or a
+    # row whose k-th key equals its (k+1)-th (a tie straddling the
+    # cut), mean the quicksort's arbitrary order may disagree with the
+    # tid tie rule — re-answer those rows exactly.
+    suspect = (head_keys[:, 1:] == head_keys[:, :-1]).any(axis=1)
+    over = counts > k
+    if over.any():
+        boundary = key_sorted[np.where(over, starts + k, starts)]
+        suspect |= over & (boundary == head_keys[:, -1])
+    for row in np.flatnonzero(suspect):
+        out[row] = topk_select(scores[row], tids, k)
+    return out
+
+
+def batch_topk(
+    scores: np.ndarray,
+    tids: np.ndarray,
+    k: int,
+    scratch: dict | None = None,
+) -> np.ndarray:
+    """Row-wise top-k over a ``(Q, C)`` score matrix.
+
+    ``scores[q, c]`` is query q's score for candidate ``tids[c]``; the
+    result is a ``(Q, k)`` matrix whose row q equals
+    ``topk_select(scores[q], tids, k)``.  All heavy passes run across
+    the whole batch inside numpy.
+
+    Passing a ``scratch`` dict (the same one on every call) enables
+    the masked large-C path and persists its working buffers between
+    batches; the dict is owned by the caller and is not thread-safe —
+    concurrent callers should each hold their own.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be (Q, C); got shape {scores.shape}")
+    tids = np.asarray(tids, dtype=np.intp)
+    n_queries, n_candidates = scores.shape
+    if tids.shape != (n_candidates,):
+        raise ValueError(
+            f"tids must have one entry per score column; got {tids.shape}"
+        )
+    if k <= 0 or n_candidates == 0:
+        return np.zeros((n_queries, 0), dtype=np.intp)
+    k = min(int(k), n_candidates)
+    if k * _PARTITION_RATIO >= n_candidates or k >= n_candidates:
+        # Near-full ranking: lexsort every row via two stable argsorts
+        # (tid pre-ordering makes the score sort's stability realize
+        # the tid tie-break).
+        tid_order = np.argsort(tids, kind="stable")
+        ordered = np.argsort(
+            scores[:, tid_order], axis=1, kind="stable"
+        )[:, :k]
+        return tids[tid_order][ordered]
+    if scratch is not None and k <= _PROBE and n_candidates >= 2 * _PROBE:
+        if not scores.flags.c_contiguous:
+            scores = np.ascontiguousarray(scores)
+        return _masked_batch_topk(scores, tids, k, scratch)
+    # Partition at position k so column k carries the (k+1)-th order
+    # statistic: a row's top-k *set* is exact iff that next value is
+    # strictly above the k-th (no tied candidate was cut off), which
+    # replaces a full (Q, C) tie scan with an O(Q) comparison.
+    part = np.argpartition(scores, k, axis=1)[:, : k + 1]  # (Q, k + 1)
+    part_scores = np.take_along_axis(scores, part, axis=1)
+    kth = part_scores[:, :k].max(axis=1)  # (Q,)
+    clean = part_scores[:, k] > kth
+    part = part[:, :k]
+    part_scores = part_scores[:, :k]
+    part_tids = tids[part]
+    by_tid = np.argsort(part_tids, axis=1, kind="stable")
+    part_tids = np.take_along_axis(part_tids, by_tid, axis=1)
+    part_scores = np.take_along_axis(part_scores, by_tid, axis=1)
+    by_score = np.argsort(part_scores, axis=1, kind="stable")
+    out = np.take_along_axis(part_tids, by_score, axis=1)
+    if not clean.all():
+        for row in np.flatnonzero(~clean):
+            out[row] = topk_select(scores[row], tids, k)
+    return out

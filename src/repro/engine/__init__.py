@@ -1,5 +1,6 @@
 """Mini relational engine: relations, paged storage, SQL, execution."""
 
+from .cache import ResultCache, cached_query
 from .catalog import Catalog
 from .executor import ExecutionResult, TopKExecutor, materialize_layers
 from .relation import Relation
@@ -15,6 +16,8 @@ __all__ = [
     "BlockStore",
     "AccessStats",
     "Catalog",
+    "ResultCache",
+    "cached_query",
     "TopKExecutor",
     "ExecutionResult",
     "materialize_layers",

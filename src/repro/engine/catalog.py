@@ -23,12 +23,21 @@ class Catalog:
     def __init__(self):
         self._tables: dict[str, Relation] = {}
         self._indexes: dict[str, dict[str, RankedIndex]] = {}
+        # Monotone per-name content version; bumped whenever the data
+        # behind a name changes so result caches keyed on
+        # (table, version) go stale automatically.  Survives drops so
+        # a re-created table never reuses a version.
+        self._versions: dict[str, int] = {}
+
+    def _bump_version(self, name: str) -> None:
+        self._versions[name] = self._versions.get(name, 0) + 1
 
     def create_table(self, relation: Relation) -> None:
         if relation.name in self._tables:
             raise ValueError(f"table {relation.name!r} already exists")
         self._tables[relation.name] = relation
         self._indexes[relation.name] = {}
+        self._bump_version(relation.name)
 
     def replace_table(self, relation: Relation) -> None:
         """Swap a table's contents (e.g. after materializing a layer
@@ -36,6 +45,14 @@ class Catalog:
         if relation.name not in self._tables:
             raise KeyError(f"no table {relation.name!r}")
         self._tables[relation.name] = relation
+        self._bump_version(relation.name)
+
+    def table_version(self, name: str) -> int:
+        """Content version of a table: starts at 1, increments on
+        every :meth:`replace_table` (and re-creation after a drop)."""
+        if name not in self._tables:
+            raise KeyError(f"no table {name!r}")
+        return self._versions[name]
 
     def drop_table(self, name: str) -> None:
         if name not in self._tables:

@@ -24,6 +24,7 @@ import numpy as np
 
 from .. import obs
 from ..queries.ranking import LinearQuery
+from .cache import ResultCache
 from .catalog import Catalog
 from .relation import Relation
 from .schema import Attribute
@@ -76,13 +77,32 @@ def materialize_layers(
 
 
 class TopKExecutor:
-    """Executes parsed (or textual) ranked top-k statements."""
+    """Executes parsed (or textual) ranked top-k statements.
 
-    def __init__(self, catalog: Catalog, block_size: int = 64):
+    Parameters
+    ----------
+    catalog, block_size:
+        The table/index registry and the paged-storage block size used
+        for block accounting.
+    cache_size:
+        Capacity of the prefix-closed result cache serving index plans
+        (see :class:`~repro.engine.cache.ResultCache`); 0 (the
+        default) disables caching.  Caching never changes the tids a
+        statement returns — on a hit ``retrieved`` is 0 and
+        ``extra['cache'] == 'hit'``.  Entries are keyed on the table's
+        content version, so :meth:`Catalog.replace_table` invalidates
+        them automatically.
+    """
+
+    def __init__(
+        self, catalog: Catalog, block_size: int = 64, cache_size: int = 0
+    ):
         self._catalog = catalog
         self._block_size = block_size
         self._stores: dict[str, BlockStore] = {}
         self._planner = None
+        #: Result cache for index-plan answers; ``None`` when disabled.
+        self.cache = ResultCache(cache_size) if cache_size > 0 else None
         #: Cumulative ``query.*`` metrics across every query this
         #: executor has run (per-query snapshots ride on each
         #: :attr:`ExecutionResult.metrics`).
@@ -172,6 +192,124 @@ class TopKExecutor:
         extra["metrics"] = local.as_dict()
         return replace(result, extra=extra)
 
+    def _resolve_index_plan(self, query: ParsedQuery) -> ParsedQuery | None:
+        """The statement rewritten to an index plan, or ``None`` when
+        it cannot be batch-served (explain / layer-bound / negative
+        weights / planner prefers another plan)."""
+        if query.explain or query.layer_bound is not None:
+            return None
+        weights = np.array(list(query.order_by.values()))
+        if np.any(weights < 0):
+            return None
+        if query.index_hint is not None:
+            return query
+        chosen = self.planner.choose(query.table, query.k)
+        if chosen.kind != "index":
+            return None
+        return ParsedQuery(
+            k=query.k,
+            table=query.table,
+            order_by=query.order_by,
+            index_hint=chosen.index_name,
+        )
+
+    def execute_many(self, statements) -> list[ExecutionResult]:
+        """Answer many statements, batching where the engine can.
+
+        Statements that resolve to an index plan are grouped by
+        (table, index, k) and each group is answered through the
+        index's vectorized :meth:`~repro.indexes.base.RankedIndex.query_batch`
+        (consulting the result cache per query when enabled);
+        everything else falls back to :meth:`execute_auto` per
+        statement.  Results come back in input order and each batched
+        result carries the per-batch ``query.*`` / ``cache.*`` metrics
+        snapshot plus its batch size in ``extra``.
+        """
+        parsed = [
+            parse(s) if isinstance(s, str) else s for s in statements
+        ]
+        results: list[ExecutionResult | None] = [None] * len(parsed)
+        groups: dict[tuple, list[tuple[int, ParsedQuery]]] = {}
+        for i, query in enumerate(parsed):
+            indexed = self._resolve_index_plan(query)
+            if indexed is None:
+                results[i] = self.execute_auto(query)
+            else:
+                key = (indexed.table, indexed.index_hint, indexed.k)
+                groups.setdefault(key, []).append((i, indexed))
+        for (table, index_name, k), members in groups.items():
+            self._execute_index_batch(table, index_name, k, members, results)
+        return results
+
+    def _execute_index_batch(
+        self, table, index_name, k, members, results
+    ) -> None:
+        relation = self._catalog.table(table)
+        index = self._catalog.index(table, index_name)
+        local = obs.Metrics()
+        with obs.collect(local):
+            started = time.perf_counter()
+            weight_rows = [
+                self._index_weights(relation, index_name, q.order_by)
+                for _, q in members
+            ]
+            # (tids, retrieved, layers_scanned, cache state) per member.
+            answers: list[tuple | None] = [None] * len(members)
+            if self.cache is not None:
+                scope = self._cache_scope(table, index_name)
+                misses = []
+                for j, weights in enumerate(weight_rows):
+                    hit = self.cache.lookup(scope, weights, k)
+                    if hit is not None:
+                        answers[j] = (hit, 0, 0, "hit")
+                    else:
+                        misses.append(j)
+            else:
+                misses = list(range(len(members)))
+            if misses:
+                batch = index.query_batch(
+                    [LinearQuery(weight_rows[j]) for j in misses], k
+                )
+                for j, result in zip(misses, batch):
+                    if self.cache is not None:
+                        self.cache.store(
+                            scope, weight_rows[j], k, result.tids
+                        )
+                    answers[j] = (
+                        result.tids,
+                        result.retrieved,
+                        result.layers_scanned,
+                        "miss",
+                    )
+            retrieved = [a[1] for a in answers]
+            blocks = [
+                -(-r // self._block_size) if r else 0 for r in retrieved
+            ]
+            local.add_time("query.index", time.perf_counter() - started)
+            local.inc("query.count", len(members))
+            local.inc("query.batches")
+            local.inc("query.retrieved", sum(retrieved))
+            local.inc("query.blocks_read", sum(blocks))
+        self.metrics.merge(local)
+        snapshot = local.as_dict()
+        for j, (i, _query) in enumerate(members):
+            tids, tuples_read, layers_scanned, cache_state = answers[j]
+            extra = {
+                "layers_scanned": layers_scanned,
+                "metrics": snapshot,
+                "batch_size": len(members),
+            }
+            if self.cache is not None:
+                extra["cache"] = cache_state
+            results[i] = ExecutionResult(
+                tids=tids,
+                rows=relation.take(tids),
+                retrieved=tuples_read,
+                blocks_read=blocks[j],
+                plan=f"index({index_name})",
+                extra=extra,
+            )
+
     def _execute_parsed(self, query: ParsedQuery) -> ExecutionResult:
         relation = self._catalog.table(query.table)
 
@@ -198,27 +336,51 @@ class TopKExecutor:
             return self._execute_layer_prefix(query, relation, linear, data)
         return self._execute_scan(query, relation, linear, data)
 
-    def _execute_with_index(self, query, relation, linear) -> ExecutionResult:
-        index = self._catalog.index(query.table, query.index_hint)
+    def _index_weights(
+        self, relation, index_name: str, order_by: dict
+    ) -> np.ndarray:
         # Indexes cover the table's float attributes in schema order;
         # attributes the statement does not rank get weight zero.
         indexed = [a.name for a in relation.schema if a.kind == "float"]
-        unknown = [a for a in query.order_by if a not in indexed]
+        unknown = [a for a in order_by if a not in indexed]
         if unknown:
             raise ValueError(
-                f"index {query.index_hint!r} does not cover {unknown}"
+                f"index {index_name!r} does not cover {unknown}"
             )
-        full = np.array([query.order_by.get(name, 0.0) for name in indexed])
-        linear = LinearQuery(full)
-        result = index.query(linear, query.k)
+        return np.array([order_by.get(name, 0.0) for name in indexed])
+
+    def _cache_scope(self, table: str, index_name: str) -> tuple:
+        return (table, index_name, self._catalog.table_version(table))
+
+    def _execute_with_index(self, query, relation, linear) -> ExecutionResult:
+        index = self._catalog.index(query.table, query.index_hint)
+        full = self._index_weights(relation, query.index_hint, query.order_by)
+        if self.cache is not None:
+            scope = self._cache_scope(query.table, query.index_hint)
+            hit = self.cache.lookup(scope, full, query.k)
+            if hit is not None:
+                return ExecutionResult(
+                    tids=hit,
+                    rows=relation.take(hit),
+                    retrieved=0,
+                    blocks_read=0,
+                    plan=f"index({query.index_hint})",
+                    extra={"cache": "hit"},
+                )
+        result = index.query(LinearQuery(full), query.k)
+        if self.cache is not None:
+            self.cache.store(scope, full, query.k, result.tids)
         blocks = -(-result.retrieved // self._block_size) if result.retrieved else 0
+        extra = {"layers_scanned": result.layers_scanned}
+        if self.cache is not None:
+            extra["cache"] = "miss"
         return ExecutionResult(
             tids=result.tids,
             rows=relation.take(result.tids),
             retrieved=result.retrieved,
             blocks_read=blocks,
             plan=f"index({query.index_hint})",
-            extra={"layers_scanned": result.layers_scanned},
+            extra=extra,
         )
 
     def _execute_layer_prefix(self, query, relation, linear, data) -> ExecutionResult:

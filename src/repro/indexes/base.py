@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.qkernel import topk_select
 from ..queries.ranking import LinearQuery
 
 __all__ = ["QueryResult", "RankedIndex", "rank_candidates"]
@@ -98,8 +99,13 @@ class RankedIndex(ABC):
 def rank_candidates(
     points: np.ndarray, candidates: np.ndarray, query: LinearQuery, k: int
 ) -> np.ndarray:
-    """Exact top-k among ``candidates`` under the library tie rule."""
+    """Exact top-k among ``candidates`` under the library tie rule.
+
+    Identical to the full ``np.lexsort((candidates, scores))`` ranking
+    truncated to k, but when ``k`` is small relative to the candidate
+    count an ``np.argpartition`` prefilter avoids sorting the whole
+    set (see :mod:`repro.core.qkernel` for the tie-exact selection).
+    """
     candidates = np.asarray(candidates, dtype=np.intp)
     scores = query.scores(points[candidates])
-    order = np.lexsort((candidates, scores))
-    return candidates[order[:k]]
+    return topk_select(scores, candidates, k)

@@ -41,6 +41,11 @@ class _PeeledIndex(RankedIndex):
         max_layer = int(self._layers.max()) if self.size else 0
         counts = np.bincount(self._layers, minlength=max_layer + 1)
         self._offsets = np.cumsum(counts)
+        # Layer-packed slab: points rewritten in (layer, tid) order so
+        # the progressive scan reads each layer as one contiguous
+        # slice (the hull layers here are k-indexed too: the top-k of
+        # any linear query lies within the first k peels).
+        self._slab = np.ascontiguousarray(self._points[self._order])
 
     @property
     def layers(self) -> np.ndarray:
@@ -73,7 +78,7 @@ class _PeeledIndex(RankedIndex):
             best = rank_candidates(self._points, pool, query, k)
             if best.size >= k:
                 kth_score = float(query.scores(self._points[[best[k - 1]]])[0])
-                layer_min = float(query.scores(self._points[members]).min())
+                layer_min = float(query.scores(self._slab[lo:hi]).min())
                 if kth_score < layer_min:
                     break
         tids = best if best is not None else np.zeros(0, dtype=np.intp)

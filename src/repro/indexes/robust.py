@@ -17,8 +17,9 @@ from .. import obs
 from ..core.appri import appri_build
 from ..core.exact import exact_robust_layers
 from ..core.index import layer_offsets, layer_order
+from ..core.qkernel import batch_topk, topk_select
 from ..queries.ranking import LinearQuery
-from .base import QueryResult, RankedIndex, rank_candidates
+from .base import QueryResult, RankedIndex
 
 __all__ = ["RobustIndex", "ExactRobustIndex"]
 
@@ -87,6 +88,14 @@ class RobustIndex(RankedIndex):
         self._workers = workers
         self._order = layer_order(self._layers)
         self._offsets = layer_offsets(self._layers)
+        self._pack_slab()
+
+    def _pack_slab(self) -> None:
+        self._slab = np.ascontiguousarray(self._points[self._order])
+        # Reusable working memory for the batch path (GEMM output plus
+        # the kernel's probe/mask buffers); rebuilt with the slab so a
+        # reload never aliases stale shapes.
+        self._batch_scratch: dict = {}
 
     @property
     def layers(self) -> np.ndarray:
@@ -109,20 +118,35 @@ class RobustIndex(RankedIndex):
         """Tids in the first k layers, in sequential storage order."""
         return self._order[: self.retrieval_cost(k)]
 
+    @property
+    def slab(self) -> np.ndarray:
+        """The points re-materialized in layer order (C-contiguous).
+
+        ``slab[:retrieval_cost(k)]`` is the candidate prefix of a
+        top-k query as one cache-friendly slice — row j holds the
+        attributes of tid ``candidates_for_k(k)[j]`` — so the query
+        path never fancy-indexes the original matrix.
+        """
+        return self._slab
+
     def query(self, query: LinearQuery, k: int) -> QueryResult:
         k = self._check_query(query, k)
         if k == 0:
             return QueryResult(np.zeros(0, dtype=np.intp), 0, 0)
         with obs.timed("index.query"):
-            candidates = self.candidates_for_k(k)
-            tids = rank_candidates(self._points, candidates, query, k)
+            prefix = self.retrieval_cost(k)
+            candidates = self._order[:prefix]
+            scores = self._slab[:prefix] @ query.weights
+            tids = topk_select(scores, candidates, k)
+            # The slab is (layer, tid)-ordered, so the deepest layer
+            # touched is the last candidate's.
             layers_scanned = (
-                int(self._layers[candidates].max()) if candidates.size else 0
+                int(self._layers[candidates[-1]]) if prefix else 0
             )
         obs.inc("index.queries")
-        obs.inc("index.candidates", int(candidates.size))
+        obs.inc("index.candidates", prefix)
         obs.inc("index.layers_scanned", layers_scanned)
-        return QueryResult(tids, int(candidates.size), layers_scanned)
+        return QueryResult(tids, prefix, layers_scanned)
 
     def build_info(self) -> dict:
         return {
@@ -140,9 +164,14 @@ class RobustIndex(RankedIndex):
         """Vectorized batch answering.
 
         The robust index's candidate set depends only on k, so a whole
-        workload is answered with one gather and one matrix multiply:
-        score the shared candidates against all weight vectors at
-        once, then rank each column.
+        workload is answered in one shot: a single GEMM scores the
+        layer-packed slab prefix against every weight vector, then the
+        batch kernel (:func:`repro.core.qkernel.batch_topk`) selects
+        each query's top k under the exact ``(score, tid)`` tie rule.
+        The GEMM output and the kernel's working sets live in
+        per-index scratch buffers, so repeated batches run entirely in
+        warm memory.  Emits per-batch ``index.batch*`` counters and
+        timers.
         """
         queries = list(queries)
         if not queries:
@@ -153,22 +182,31 @@ class RobustIndex(RankedIndex):
             return [
                 QueryResult(np.zeros(0, dtype=np.intp), 0, 0) for _ in queries
             ]
-        candidates = self.candidates_for_k(k)
-        retrieved = int(candidates.size)
-        layers_scanned = (
-            int(self._layers[candidates].max()) if retrieved else 0
-        )
-        weights = np.stack([q.weights for q in queries])  # (q, d)
-        scores = self._points[candidates] @ weights.T      # (c, q)
-        results = []
-        for j in range(len(queries)):
-            order = np.lexsort((candidates, scores[:, j]))
-            results.append(
-                QueryResult(
-                    candidates[order[:k]], retrieved, layers_scanned
-                )
+        with obs.timed("index.batch"):
+            prefix = self.retrieval_cost(k)
+            candidates = self._order[:prefix]
+            layers_scanned = (
+                int(self._layers[candidates[-1]]) if prefix else 0
             )
-        return results
+            weights = np.stack([q.weights for q in queries])  # (q, d)
+            # One GEMM over the contiguous prefix, written into a
+            # reused C-order (q, c) buffer: the kernel's row passes
+            # stay contiguous per query, with no transpose copy and no
+            # fresh multi-megabyte allocation per batch.
+            scratch = self._batch_scratch
+            scores = scratch.get("scores")
+            if scores is None or scores.shape != (len(queries), prefix):
+                scores = np.empty((len(queries), prefix))
+                scratch["scores"] = scores
+            np.matmul(weights, self._slab[:prefix].T, out=scores)
+            top = batch_topk(scores, candidates, k, scratch=scratch)
+        obs.inc("index.batch.count")
+        obs.inc("index.batch.queries", len(queries))
+        obs.inc("index.batch.candidates", prefix * len(queries))
+        return [
+            QueryResult(top[j], prefix, layers_scanned)
+            for j in range(len(queries))
+        ]
 
     def save(self, path) -> None:
         """Persist the index (data + layers + parameters) as ``.npz``.
@@ -202,6 +240,7 @@ class RobustIndex(RankedIndex):
             index._build_seconds = 0.0
         index._order = layer_order(index._layers)
         index._offsets = layer_offsets(index._layers)
+        index._pack_slab()
         return index
 
 
@@ -223,6 +262,7 @@ class ExactRobustIndex(RobustIndex):
         self._n_partitions = 0
         self._order = layer_order(self._layers)
         self._offsets = layer_offsets(self._layers)
+        self._pack_slab()
 
     def build_info(self) -> dict:
         info = super().build_info()

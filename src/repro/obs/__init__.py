@@ -30,9 +30,14 @@ Metric names are dotted paths; the prefixes in use:
 ``exact.*``
     The exact robust-layer solvers.
 ``query.*``
-    Executor query path (per-plan time, tuples retrieved, blocks).
+    Executor query path (per-plan time, tuples retrieved, blocks;
+    ``query.batches`` counts :meth:`execute_many` index groups).
 ``index.*``
-    Index-level query counters.
+    Index-level query counters; ``index.batch.*`` covers the
+    vectorized ``query_batch`` path.
+``cache.*``
+    Result cache (hits / misses / truncations / deepenings /
+    insertions / evictions).
 """
 
 from __future__ import annotations

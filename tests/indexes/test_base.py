@@ -53,3 +53,53 @@ class TestRankCandidates:
         q = LinearQuery([1.0])
         out = rank_candidates(pts, np.array([0, 2]), q, 1)
         assert out.tolist() == [2]
+
+
+def old_rank_candidates(points, candidates, query, k):
+    """The pre-kernel implementation: full lexsort over all candidates."""
+    candidates = np.asarray(candidates, dtype=np.intp)
+    scores = query.scores(points[candidates])
+    order = np.lexsort((candidates, scores))
+    return candidates[order[:k]]
+
+
+class TestRankCandidatesPartitionRegression:
+    """The argpartition prefilter must match the old full-lexsort path
+    bit-for-bit, especially on tied scores at the k-th boundary."""
+
+    def test_tied_scores_small_k(self, rng):
+        # Many duplicate score values so the k-th boundary is almost
+        # always tied; small k forces the partition fast path.
+        values = rng.random(5)
+        pts = rng.choice(values, size=(400, 1))
+        q = LinearQuery([1.0])
+        candidates = rng.permutation(400).astype(np.intp)
+        for k in (1, 2, 7, 25, 60):
+            assert (
+                rank_candidates(pts, candidates, q, k).tolist()
+                == old_rank_candidates(pts, candidates, q, k).tolist()
+            )
+
+    def test_generic_scores_all_k(self, rng):
+        pts = rng.random((300, 3))
+        q = LinearQuery([1.0, 0.5, 2.0])
+        candidates = rng.choice(300, size=200, replace=False).astype(np.intp)
+        for k in (1, 5, 49, 50, 51, 199, 200, 250):
+            assert (
+                rank_candidates(pts, candidates, q, k).tolist()
+                == old_rank_candidates(pts, candidates, q, k).tolist()
+            )
+
+    def test_exact_global_tie_at_boundary(self):
+        # Symmetric points: score 3.0 appears four times; with k=2 the
+        # boundary cut runs through the tie and must keep smaller tids.
+        pts = np.array(
+            [[1.0, 2.0], [2.0, 1.0], [0.5, 2.5], [2.5, 0.5], [0.0, 0.1]]
+        )
+        q = LinearQuery([1, 1])
+        candidates = np.array([3, 1, 4, 0, 2])
+        for k in range(6):
+            assert (
+                rank_candidates(pts, candidates, q, k).tolist()
+                == old_rank_candidates(pts, candidates, q, k).tolist()
+            )

@@ -1,11 +1,16 @@
 """Tests for the batch-query API."""
 
+import functools
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.experiments.harness import INDEX_BUILDERS
 from repro.indexes.linear_scan import LinearScanIndex
 from repro.indexes.onion import ShellIndex
-from repro.indexes.robust import RobustIndex
+from repro.indexes.robust import ExactRobustIndex, RobustIndex
 from repro.queries.ranking import LinearQuery
 from repro.queries.workload import grid_weight_workload, simplex_workload
 
@@ -61,3 +66,67 @@ class TestRobustBatch:
         index = RobustIndex(small_2d, n_partitions=3)
         with pytest.raises(ValueError):
             index.query_batch([LinearQuery([1, 2, 3])], 4)
+
+    def test_exact_robust_inherits_kernel(self, small_2d):
+        index = ExactRobustIndex(small_2d[:30])
+        queries = simplex_workload(2, 5, seed=5)
+        for q, result in zip(queries, index.query_batch(queries, 6)):
+            assert result.tids.tolist() == index.query(q, 6).tids.tolist()
+
+    def test_batch_after_load_uses_slab(self, small_3d, tmp_path):
+        index = RobustIndex(small_3d, n_partitions=4)
+        index.save(tmp_path / "idx.npz")
+        loaded = RobustIndex.load(tmp_path / "idx.npz")
+        queries = grid_weight_workload(3, 5, seed=6)
+        fresh = index.query_batch(queries, 7)
+        reloaded = loaded.query_batch(queries, 7)
+        for a, b in zip(fresh, reloaded):
+            assert a.tids.tolist() == b.tids.tolist()
+
+
+# Shared data/build cache so every registered index type is built once
+# for the whole module (some builders are quadratic in n).
+_DATA = np.random.default_rng(71).random((48, 3))
+
+
+@functools.lru_cache(maxsize=None)
+def _built(name):
+    return INDEX_BUILDERS[name](_DATA)
+
+
+class TestBatchEveryIndexType:
+    """``query_batch == [query(q) for q in queries]`` for every
+    registered index type, vectorized overrides included."""
+
+    @pytest.mark.parametrize("name", sorted(INDEX_BUILDERS))
+    def test_batch_matches_loop(self, name):
+        index = _built(name)
+        queries = grid_weight_workload(3, 5, seed=3) + simplex_workload(
+            3, 5, seed=4
+        )
+        batch = index.query_batch(queries, 9)
+        assert len(batch) == len(queries)
+        for q, result in zip(queries, batch):
+            assert result.tids.tolist() == index.query(q, 9).tids.tolist()
+
+    @pytest.mark.parametrize("name", sorted(INDEX_BUILDERS))
+    @settings(deadline=None, max_examples=10)
+    @given(
+        rows=st.lists(
+            st.lists(
+                st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+                min_size=3,
+                max_size=3,
+            ).filter(lambda w: sum(w) > 1e-9),
+            min_size=1,
+            max_size=4,
+        ),
+        k=st.integers(0, 60),
+    )
+    def test_batch_matches_loop_hypothesis(self, name, rows, k):
+        index = _built(name)
+        queries = [LinearQuery(np.asarray(w)) for w in rows]
+        batch = index.query_batch(queries, k)
+        for q, result in zip(queries, batch):
+            single = index.query(q, k)
+            assert result.tids.tolist() == single.tids.tolist()
