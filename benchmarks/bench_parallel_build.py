@@ -83,7 +83,7 @@ def test_parallel_build_speedup(benchmark):
     from repro.core.appri import appri_build
     from repro.data import uniform
 
-    from .conftest import publish
+    from conftest import publish
 
     data = uniform(QUICK_N, 3, seed=0)
     build = benchmark(lambda: appri_build(data, workers=4))

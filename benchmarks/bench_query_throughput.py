@@ -279,7 +279,7 @@ def test_query_throughput(benchmark, bench_data):
     from repro.indexes.robust import RobustIndex
     from repro.queries.workload import simplex_workload
 
-    from .conftest import publish
+    from conftest import publish
 
     index = RobustIndex(bench_data, n_partitions=5)
     workload = simplex_workload(3, 64, seed=1)

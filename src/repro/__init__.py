@@ -32,6 +32,7 @@ from .core.dynamic import DynamicRobustLayers
 from .core.signed import SignedRobustLayers
 from .core.validate import audit_layering
 from .indexes.base import QueryResult, RankedIndex
+from .indexes.dynamic import DynamicRobustIndex
 from .indexes.linear_scan import LinearScanIndex
 from .indexes.multiview import PreferMultiView, RobustMultiView
 from .indexes.onion import OnionIndex, ShellIndex
@@ -60,6 +61,7 @@ __all__ = [
     "RTreeIndex",
     "SignedRobustLayers",
     "DynamicRobustLayers",
+    "DynamicRobustIndex",
     "audit_layering",
     "appri_layers",
     "appri_build",

@@ -92,6 +92,7 @@ class DynamicRobustLayers:
 
     def __init__(self, points: np.ndarray, n_partitions: int = 10,
                  **appri_kwargs):
+        """Run the full AppRI build once; later updates are O(n)."""
         pts = np.asarray(points, dtype=float)
         if pts.ndim != 2:
             raise ValueError("points must be a 2-D array")
@@ -107,6 +108,7 @@ class DynamicRobustLayers:
 
     @property
     def size(self) -> int:
+        """Number of alive tuples."""
         return int(self._alive.sum())
 
     @property
@@ -116,12 +118,59 @@ class DynamicRobustLayers:
 
     @property
     def points(self) -> np.ndarray:
+        """Alive tuples, in the row order tids refer to (a copy)."""
         return self._points[self._alive]
 
     def layers(self) -> np.ndarray:
         """Current sound layers of the alive tuples (1-based)."""
         adjusted = np.maximum(self._raw_layers - self._deletions, 1)
         return adjusted[self._alive].astype(np.intp)
+
+    def export_state(self) -> tuple[dict, dict]:
+        """Serializable state as ``(arrays, meta)``.
+
+        ``arrays`` maps names to numpy arrays (the full point matrix
+        including dead rows, the raw uncompensated layers, the alive
+        mask); ``meta`` holds the JSON-safe scalars (partition count,
+        update counters, build kwargs).  The pair round-trips through
+        :meth:`from_state` and is what
+        :mod:`repro.engine.snapshot` persists for this class.
+        """
+        arrays = {
+            "points": self._points,
+            "raw_layers": self._raw_layers,
+            "alive": self._alive,
+        }
+        meta = {
+            "n_partitions": int(self._n_partitions),
+            "deletions": int(self._deletions),
+            "insertions": int(self._insertions),
+            "appri_kwargs": dict(self._appri_kwargs),
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_state(cls, arrays: dict, meta: dict) -> "DynamicRobustLayers":
+        """Rebuild an instance from :meth:`export_state` output.
+
+        The alive mask and raw layers are copied into writable arrays
+        (updates mutate them); the point matrix is adopted as-is, so a
+        read-only memory map stays zero-copy until the first insert or
+        rebuild replaces it.
+        """
+        obj = cls.__new__(cls)
+        obj._n_partitions = int(meta["n_partitions"])
+        obj._appri_kwargs = dict(meta.get("appri_kwargs", {}))
+        obj._points = np.asarray(arrays["points"], dtype=float)
+        obj._raw_layers = np.array(arrays["raw_layers"], dtype=np.int64)
+        obj._alive = np.array(arrays["alive"], dtype=bool)
+        obj._deletions = int(meta.get("deletions", 0))
+        obj._insertions = int(meta.get("insertions", 0))
+        if obj._raw_layers.shape != (obj._points.shape[0],) or (
+            obj._alive.shape != (obj._points.shape[0],)
+        ):
+            raise ValueError("state arrays disagree on the tuple count")
+        return obj
 
     def insert(self, new_point) -> int:
         """Add a tuple; returns its position among alive tuples' rows.
@@ -160,10 +209,30 @@ class DynamicRobustLayers:
     def rebuild(self) -> None:
         """Recompute tight layers from scratch for the alive tuples."""
         pts = self._points[self._alive]
-        self._points = pts
-        self._raw_layers = appri_layers(
-            pts, n_partitions=self._n_partitions, **self._appri_kwargs
-        ).astype(np.int64)
-        self._alive = np.ones(pts.shape[0], dtype=bool)
+        self.install(
+            pts,
+            appri_layers(
+                pts, n_partitions=self._n_partitions, **self._appri_kwargs
+            ),
+        )
+
+    def install(self, points: np.ndarray, layers: np.ndarray) -> None:
+        """Adopt an externally computed tight layering for ``points``.
+
+        This is the commit half of an out-of-band rebuild (see
+        :class:`repro.engine.rebuild.RebuildManager`): the caller
+        captured the alive tuples, recomputed their layers *without*
+        holding this object hostage, and now installs the result.  The
+        caller is responsible for ensuring no update landed in between
+        (the layering must describe exactly ``points``); staleness
+        resets to zero.
+        """
+        points = np.asarray(points, dtype=float)
+        layers = np.asarray(layers, dtype=np.int64)
+        if points.ndim != 2 or layers.shape != (points.shape[0],):
+            raise ValueError("layers must assign one value per point row")
+        self._points = points
+        self._raw_layers = layers
+        self._alive = np.ones(points.shape[0], dtype=bool)
         self._deletions = 0
         self._insertions = 0

@@ -1,11 +1,27 @@
-"""Catalog: named tables and their attached ranked indexes."""
+"""Catalog: named tables and their attached ranked indexes.
+
+The catalog also owns the persistence story for attached indexes: a
+*snapshot directory* holds one ``<root>/<table>/<index>.snap`` file
+per index (see :mod:`repro.engine.snapshot` for the format), each
+stamped with the table's content version at save time.  Because
+:meth:`Catalog.replace_table` bumps that version, snapshots of
+replaced tables go stale automatically — :meth:`load_index_snapshots`
+refuses to attach them, so a warm start can never serve answers
+computed over old data.
+"""
 
 from __future__ import annotations
 
+from pathlib import Path
+
+from .. import obs
 from ..indexes.base import RankedIndex
 from .relation import Relation
 
 __all__ = ["Catalog"]
+
+#: File suffix of catalog-managed snapshot files.
+SNAPSHOT_SUFFIX = ".snap"
 
 
 class Catalog:
@@ -94,3 +110,75 @@ class Catalog:
         if table_name not in self._indexes:
             raise KeyError(f"no table {table_name!r}")
         return dict(self._indexes[table_name])
+
+    # -- snapshot persistence (see repro.engine.snapshot) ------------
+
+    def save_index_snapshots(self, root, table_name: str | None = None,
+                             ) -> list[Path]:
+        """Persist attached indexes as ``<root>/<table>/<index>.snap``.
+
+        Each snapshot is written atomically and stamped with the
+        table's current content version, so later loads can tell
+        whether the data underneath has changed.  ``table_name=None``
+        snapshots every table.  Returns the written paths.
+        """
+        from .snapshot import save_snapshot
+
+        root = Path(root)
+        tables = (
+            [table_name] if table_name is not None else self.table_names()
+        )
+        written: list[Path] = []
+        for table in tables:
+            for index_name, index in self.indexes_on(table).items():
+                table_dir = root / table
+                table_dir.mkdir(parents=True, exist_ok=True)
+                path = table_dir / f"{index_name}{SNAPSHOT_SUFFIX}"
+                save_snapshot(
+                    index,
+                    path,
+                    extra_meta={
+                        "table": table,
+                        "index_name": index_name,
+                        "table_version": self.table_version(table),
+                    },
+                )
+                written.append(path)
+        return written
+
+    def load_index_snapshots(self, root, table_name: str | None = None,
+                             mmap: bool = True, verify: bool = True,
+                             ) -> list[tuple[str, str]]:
+        """Attach every current snapshot under ``root``; skip stale ones.
+
+        A snapshot is attached only when its stamped ``table_version``
+        equals the named table's *current* version — snapshots written
+        before a :meth:`replace_table` (or for a dropped-and-recreated
+        table) are silently skipped and counted as
+        ``snapshot.stale_skipped``, because their layers may describe
+        data the table no longer holds.  Returns the
+        ``(table, index_name)`` pairs attached.
+        """
+        from .snapshot import load_snapshot, read_snapshot_header
+
+        root = Path(root)
+        tables = (
+            [table_name] if table_name is not None else self.table_names()
+        )
+        attached: list[tuple[str, str]] = []
+        for table in tables:
+            table_dir = root / table
+            if not table_dir.is_dir():
+                continue
+            current = self.table_version(table)
+            for path in sorted(table_dir.glob(f"*{SNAPSHOT_SUFFIX}")):
+                header = read_snapshot_header(path)
+                meta = header["meta"]
+                if meta.get("table_version") != current:
+                    obs.inc("snapshot.stale_skipped")
+                    continue
+                index = load_snapshot(path, mmap=mmap, verify=verify)
+                index_name = meta.get("index_name", path.stem)
+                self.attach_index(table, index_name, index)
+                attached.append((table, index_name))
+        return attached

@@ -2,6 +2,7 @@
 
 from .base import QueryResult, RankedIndex
 from .cursor import RankedCursor
+from .dynamic import DynamicRobustIndex
 from .linear_scan import LinearScanIndex
 from .multiview import PreferMultiView, RobustMultiView
 from .onion import OnionIndex, ShellIndex
@@ -15,6 +16,7 @@ __all__ = [
     "RankedIndex",
     "RobustIndex",
     "ExactRobustIndex",
+    "DynamicRobustIndex",
     "OnionIndex",
     "ShellIndex",
     "PreferIndex",

@@ -38,6 +38,15 @@ Metric names are dotted paths; the prefixes in use:
 ``cache.*``
     Result cache (hits / misses / truncations / deepenings /
     insertions / evictions).
+``snapshot.*``
+    Index persistence (:mod:`repro.engine.snapshot`): ``saves`` /
+    ``loads`` / ``bytes_written`` / ``bytes_read`` /
+    ``stale_skipped`` counters and the ``snapshot.save`` /
+    ``snapshot.load`` timers.
+``rebuild.*``
+    Background re-tightening (:mod:`repro.engine.rebuild`): ``runs``
+    / ``swaps`` / ``discarded`` / ``staleness_cleared`` counters and
+    the ``rebuild.build`` timer.
 """
 
 from __future__ import annotations

@@ -1,0 +1,335 @@
+"""Snapshot round-trips, corruption rejection, and catalog scoping."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicRobustLayers
+from repro.engine.catalog import Catalog
+from repro.engine.relation import Relation
+from repro.engine.snapshot import (
+    FORMAT_VERSION,
+    MAGIC,
+    SnapshotError,
+    load_snapshot,
+    read_snapshot_header,
+    register_snapshot_kind,
+    registered_kinds,
+    save_snapshot,
+    snapshot_info,
+)
+from repro.engine import snapshot as snapshot_module
+from repro.indexes.dynamic import DynamicRobustIndex
+from repro.indexes.onion import OnionIndex, ShellIndex
+from repro.indexes.robust import ExactRobustIndex, RobustIndex
+from repro.queries.ranking import LinearQuery
+from repro.queries.workload import simplex_workload
+
+
+def _queryable_builders(rng):
+    data = rng.random((80, 3))
+    small = rng.random((40, 3))
+    return [
+        RobustIndex(data, n_partitions=5),
+        ExactRobustIndex(small),
+        OnionIndex(data),
+        ShellIndex(data),
+        DynamicRobustIndex(data, n_partitions=5),
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_every_queryable_kind_round_trips_bit_identically(
+        self, tmp_path, rng, mmap
+    ):
+        for index in _queryable_builders(rng):
+            path = tmp_path / f"{type(index).__name__}.snap"
+            save_snapshot(index, path)
+            loaded = load_snapshot(path, mmap=mmap)
+            assert type(loaded) is type(index)
+            assert np.array_equal(loaded.points, index.points)
+            assert np.array_equal(loaded.layers, index.layers)
+            workload = simplex_workload(index.dimensions, 16, seed=7)
+            for query in workload:
+                a = index.query(query, 10)
+                b = loaded.query(query, 10)
+                assert list(a.tids) == list(b.tids)
+                assert a.retrieved == b.retrieved
+
+    def test_slab_and_order_round_trip_exactly(self, tmp_path, rng):
+        index = RobustIndex(rng.random((60, 3)), n_partitions=5)
+        path = tmp_path / "r.snap"
+        save_snapshot(index, path)
+        loaded = load_snapshot(path)
+        assert np.array_equal(loaded._slab, index._slab)
+        assert np.array_equal(loaded._order, index._order)
+        assert np.array_equal(loaded._offsets, index._offsets)
+
+    def test_batch_queries_round_trip(self, tmp_path, rng):
+        index = RobustIndex(rng.random((60, 3)), n_partitions=5)
+        path = tmp_path / "r.snap"
+        save_snapshot(index, path)
+        loaded = load_snapshot(path)
+        workload = simplex_workload(3, 12, seed=3)
+        for a, b in zip(
+            index.query_batch(workload, 8), loaded.query_batch(workload, 8)
+        ):
+            assert list(a.tids) == list(b.tids)
+
+    def test_mmap_load_is_zero_copy(self, tmp_path, rng):
+        index = RobustIndex(rng.random((50, 3)), n_partitions=5)
+        path = tmp_path / "r.snap"
+        save_snapshot(index, path)
+        loaded = load_snapshot(path, mmap=True)
+        assert isinstance(loaded._slab, np.memmap)
+        # points passes through RankedIndex.__init__'s asarray, which
+        # reclasses the memmap as a plain ndarray *view* — still
+        # zero-copy: it owns no data and maps the file read-only.
+        assert not loaded.points.flags["OWNDATA"]
+        assert not loaded.points.flags["WRITEABLE"]
+        assert isinstance(loaded.points.base, np.memmap)
+
+    def test_maintainer_staleness_state_round_trips(self, tmp_path, rng):
+        layers = DynamicRobustLayers(rng.random((50, 3)), n_partitions=5)
+        for row in rng.random((4, 3)):
+            layers.insert(row)
+        layers.delete(2)
+        assert layers.staleness == 5
+        path = tmp_path / "m.snap"
+        save_snapshot(layers, path)
+        loaded = load_snapshot(path)
+        assert loaded.staleness == 5
+        assert np.array_equal(loaded.points, layers.points)
+        assert np.array_equal(loaded.layers(), layers.layers())
+        # The restored maintainer must stay mutable (alive mask is
+        # copied out of the read-only mapping).
+        loaded.delete(0)
+        assert loaded.staleness == 6
+
+    def test_dynamic_index_staleness_and_generation_round_trip(
+        self, tmp_path, rng
+    ):
+        index = DynamicRobustIndex(rng.random((50, 3)), n_partitions=5)
+        for row in rng.random((3, 3)):
+            index.insert(row)
+        path = tmp_path / "d.snap"
+        save_snapshot(index, path)
+        loaded = load_snapshot(path)
+        assert loaded.staleness == index.staleness == 3
+        assert loaded.generation == index.generation
+        assert loaded.tight is False
+        assert loaded.rebuild() is True
+        assert loaded.staleness == 0
+
+    def test_robust_parameters_survive(self, tmp_path, rng):
+        index = RobustIndex(rng.random((40, 3)), n_partitions=7, workers=2)
+        path = tmp_path / "r.snap"
+        save_snapshot(index, path)
+        loaded = load_snapshot(path)
+        assert loaded._n_partitions == 7
+        assert loaded._workers == 2
+
+    def test_extra_meta_lands_in_header(self, tmp_path, rng):
+        index = RobustIndex(rng.random((30, 3)), n_partitions=5)
+        path = tmp_path / "r.snap"
+        save_snapshot(index, path, extra_meta={"table": "t", "note": 1})
+        header = read_snapshot_header(path)
+        assert header["meta"]["table"] == "t"
+        assert header["meta"]["note"] == 1
+
+
+class TestRejection:
+    @pytest.fixture
+    def snap(self, tmp_path, rng):
+        index = RobustIndex(rng.random((50, 3)), n_partitions=5)
+        path = tmp_path / "r.snap"
+        save_snapshot(index, path)
+        return path
+
+    def test_corrupted_buffer_is_rejected(self, snap):
+        header = read_snapshot_header(snap)
+        raw = bytearray(snap.read_bytes())
+        raw[header["data_start"] + 100] ^= 0xFF
+        snap.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="checksum mismatch"):
+            load_snapshot(snap)
+
+    def test_truncated_file_is_rejected(self, snap):
+        raw = snap.read_bytes()
+        snap.write_bytes(raw[:-200])
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(snap)
+
+    def test_truncated_preamble_is_rejected(self, snap):
+        snap.write_bytes(snap.read_bytes()[:10])
+        with pytest.raises(SnapshotError, match="truncated"):
+            load_snapshot(snap)
+
+    def test_bad_magic_is_rejected(self, snap):
+        raw = bytearray(snap.read_bytes())
+        raw[:8] = b"NOTASNAP"
+        snap.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="not a repro snapshot"):
+            load_snapshot(snap)
+
+    def test_damaged_header_is_rejected(self, snap):
+        raw = bytearray(snap.read_bytes())
+        raw[30] ^= 0xFF  # inside the JSON header
+        snap.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="header checksum"):
+            load_snapshot(snap)
+
+    def test_future_format_version_is_rejected(
+        self, tmp_path, rng, monkeypatch
+    ):
+        index = RobustIndex(rng.random((30, 3)), n_partitions=5)
+        path = tmp_path / "future.snap"
+        monkeypatch.setattr(
+            snapshot_module, "FORMAT_VERSION", FORMAT_VERSION + 1
+        )
+        save_snapshot(index, path)
+        monkeypatch.setattr(snapshot_module, "FORMAT_VERSION", FORMAT_VERSION)
+        with pytest.raises(SnapshotError, match="format version"):
+            load_snapshot(path)
+
+    def test_unknown_kind_is_rejected(self, tmp_path, rng):
+        class Custom:
+            pass
+
+        register_snapshot_kind(
+            "test-custom",
+            Custom,
+            lambda obj: ({"x": np.arange(3.0)}, {}),
+            lambda arrays, meta: Custom(),
+        )
+        path = tmp_path / "c.snap"
+        try:
+            save_snapshot(Custom(), path)
+        finally:
+            snapshot_module._SPECS.pop("test-custom")
+        with pytest.raises(SnapshotError, match="unknown snapshot kind"):
+            load_snapshot(path)
+
+    def test_unregistered_object_is_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match="no snapshot support"):
+            save_snapshot(object(), tmp_path / "x.snap")
+
+    def test_corruption_can_be_skipped_explicitly(self, snap):
+        header = read_snapshot_header(snap)
+        raw = bytearray(snap.read_bytes())
+        raw[header["data_start"] + 100] ^= 0xFF
+        snap.write_bytes(bytes(raw))
+        # verify=False is the caller saying "I trust this file".
+        load_snapshot(snap, verify=False)
+
+
+class TestAtomicityAndInfo:
+    def test_save_leaves_no_temp_files(self, tmp_path, rng):
+        index = RobustIndex(rng.random((30, 3)), n_partitions=5)
+        save_snapshot(index, tmp_path / "r.snap")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["r.snap"]
+
+    def test_save_over_existing_is_all_or_nothing(self, tmp_path, rng):
+        index = RobustIndex(rng.random((30, 3)), n_partitions=5)
+        path = tmp_path / "r.snap"
+        save_snapshot(index, path)
+        before = path.read_bytes()
+        bigger = RobustIndex(rng.random((60, 3)), n_partitions=5)
+        save_snapshot(bigger, path)
+        loaded = load_snapshot(path)
+        assert loaded.size == 60
+        assert path.read_bytes() != before
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["r.snap"]
+
+    def test_failed_save_leaves_no_file(self, tmp_path):
+        target = tmp_path / "never.snap"
+        with pytest.raises(SnapshotError):
+            save_snapshot(object(), target)
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_registered_kinds_inventory(self):
+        kinds = registered_kinds()
+        assert kinds["robust"] is RobustIndex
+        assert kinds["exact-robust"] is ExactRobustIndex
+        assert kinds["onion"] is OnionIndex
+        assert kinds["shell"] is ShellIndex
+        assert kinds["dynamic-layers"] is DynamicRobustLayers
+        assert kinds["dynamic-robust"] is DynamicRobustIndex
+
+    def test_snapshot_info_summarizes_header(self, tmp_path, rng):
+        index = RobustIndex(rng.random((50, 3)), n_partitions=5)
+        path = tmp_path / "r.snap"
+        save_snapshot(index, path)
+        info = snapshot_info(path)
+        assert info["kind"] == "robust"
+        assert info["class"] == "RobustIndex"
+        assert info["format_version"] == FORMAT_VERSION
+        assert info["n_points"] == 50
+        assert info["dimensions"] == 3
+        assert info["n_layers"] == int(index.layers.max())
+        assert info["file_size"] == os.path.getsize(path)
+        assert set(info["buffers"]) == {
+            "points", "layers", "order", "offsets", "slab"
+        }
+
+    def test_magic_is_stable(self):
+        assert MAGIC == b"RPSNAP01"
+
+
+class TestCatalogScoping:
+    def _catalog(self, rng, n=40):
+        data = rng.random((n, 3))
+        catalog = Catalog()
+        relation = Relation.from_matrix("t", ["a", "b", "c"], data)
+        catalog.create_table(relation)
+        catalog.attach_index("t", "appri", RobustIndex(data, n_partitions=5))
+        return catalog, data
+
+    def test_save_load_round_trip_through_catalog(self, tmp_path, rng):
+        catalog, data = self._catalog(rng)
+        written = catalog.save_index_snapshots(tmp_path)
+        assert [p.name for p in written] == ["appri.snap"]
+
+        fresh = Catalog()
+        fresh.create_table(Relation.from_matrix("t", ["a", "b", "c"], data))
+        attached = fresh.load_index_snapshots(tmp_path)
+        assert attached == [("t", "appri")]
+        restored = fresh.index("t", "appri")
+        query = LinearQuery([1.0, 2.0, 3.0])
+        original = catalog.index("t", "appri")
+        assert list(restored.query(query, 5).tids) == list(
+            original.query(query, 5).tids
+        )
+
+    def test_stale_table_version_is_skipped(self, tmp_path, rng):
+        catalog, data = self._catalog(rng)
+        catalog.save_index_snapshots(tmp_path)
+        # Replacing the table bumps its version; yesterday's snapshot
+        # may describe rows the table no longer holds.
+        catalog.replace_table(
+            Relation.from_matrix("t", ["a", "b", "c"], rng.random((40, 3)))
+        )
+        assert catalog.load_index_snapshots(tmp_path) == []
+
+    def test_resaving_after_replace_revalidates(self, tmp_path, rng):
+        catalog, data = self._catalog(rng)
+        new_data = rng.random((40, 3))
+        catalog.replace_table(
+            Relation.from_matrix("t", ["a", "b", "c"], new_data)
+        )
+        catalog.attach_index(
+            "t", "appri", RobustIndex(new_data, n_partitions=5)
+        )
+        catalog.save_index_snapshots(tmp_path)
+        assert catalog.load_index_snapshots(tmp_path) == [("t", "appri")]
+
+    def test_version_stamp_is_recorded(self, tmp_path, rng):
+        catalog, _ = self._catalog(rng)
+        (path,) = catalog.save_index_snapshots(tmp_path)
+        meta = read_snapshot_header(path)["meta"]
+        assert meta["table"] == "t"
+        assert meta["index_name"] == "appri"
+        assert meta["table_version"] == catalog.table_version("t")

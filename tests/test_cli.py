@@ -160,3 +160,55 @@ class TestStatsCommand:
             "--partitions", "4", "--workers", "2",
         ]) == 0
         assert out_path.exists()
+
+
+class TestSnapshotCommand:
+    def test_save_from_csv_then_info_and_load(self, tmp_path, csv_file,
+                                              capsys):
+        snap = tmp_path / "idx.snap"
+        assert main([
+            "snapshot", "save", str(csv_file), "-o", str(snap),
+            "--partitions", "4",
+        ]) == 0
+        assert "built RobustIndex" in capsys.readouterr().out
+        assert snap.exists()
+
+        assert main(["snapshot", "info", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "kind:       robust (RobustIndex)" in out
+        assert "120 x 3" in out
+        assert "crc32" in out
+
+        assert main([
+            "snapshot", "load", str(snap), "--weights", "1,2,4", "-k", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "memory-mapped" in out
+        assert "top-3" in out
+        assert out.count("tid=") == 3
+
+    def test_save_from_existing_npz(self, tmp_path, csv_file, capsys):
+        npz = tmp_path / "idx.npz"
+        assert main([
+            "build", str(csv_file), "-o", str(npz), "--partitions", "4",
+        ]) == 0
+        capsys.readouterr()
+        snap = tmp_path / "idx.snap"
+        assert main(["snapshot", "save", str(npz), "-o", str(snap)]) == 0
+        assert "loaded RobustIndex" in capsys.readouterr().out
+        assert main([
+            "snapshot", "load", str(snap), "--no-mmap", "--no-verify",
+        ]) == 0
+        assert "copied" in capsys.readouterr().out
+
+    def test_snapshot_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["snapshot"])
+
+    def test_help_epilogs_carry_runnable_examples(self, capsys):
+        for args in (["stats", "--help"], ["snapshot", "--help"],
+                     ["snapshot", "save", "--help"],
+                     ["snapshot", "load", "--help"]):
+            with pytest.raises(SystemExit):
+                main(args)
+            assert "example:" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Docstring coverage gate (stdlib-only stand-in for ``interrogate``).
+
+Walks a package tree with :mod:`ast` and counts which *documentable*
+definitions carry docstrings: modules, public classes, and public
+functions/methods.  Private names (leading underscore, except
+``__init__``), nested ``lambda``-level defs, and test files are out of
+scope — the gate protects the API surface a reader meets, not every
+helper.
+
+Usage::
+
+    python tools/docstring_coverage.py src/repro --fail-under 90
+    python tools/docstring_coverage.py src/repro --list-missing
+
+``--fail-under`` exits non-zero when coverage (in percent) drops below
+the threshold; CI pins it at the current baseline so coverage can only
+ratchet up.  ``--list-missing`` prints every undocumented definition
+as ``path:line: kind name`` for fixing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+__all__ = ["measure", "main"]
+
+
+def _is_public(name: str) -> bool:
+    return name == "__init__" or not name.startswith("_")
+
+
+def _walk_definitions(tree: ast.Module):
+    """Yield ``(node, kind, qualname)`` for every documentable def."""
+    yield tree, "module", ""
+
+    def recurse(node, prefix, inside_function):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if _is_public(child.name):
+                    qual = f"{prefix}{child.name}"
+                    yield child, "class", qual
+                    yield from recurse(child, f"{qual}.", False)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Closures/local helpers are implementation detail.
+                if not inside_function and _is_public(child.name):
+                    yield child, "function", f"{prefix}{child.name}"
+                    yield from recurse(child, f"{prefix}{child.name}.", True)
+            else:
+                yield from recurse(child, prefix, inside_function)
+
+    yield from recurse(tree, "", False)
+
+
+def measure(root: Path) -> tuple[list[tuple[Path, int, str, str]], int]:
+    """Scan ``root`` recursively; returns ``(missing, total)`` where
+    ``missing`` lists undocumented ``(path, lineno, kind, name)``."""
+    missing: list[tuple[Path, int, str, str]] = []
+    total = 0
+    paths = (
+        sorted(root.rglob("*.py")) if root.is_dir() else [root]
+    )
+    for path in paths:
+        if path.name.startswith("test_"):
+            continue
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError as exc:  # pragma: no cover - broken source
+            print(f"{path}: unparseable: {exc}", file=sys.stderr)
+            continue
+        for node, kind, name in _walk_definitions(tree):
+            total += 1
+            if ast.get_docstring(node) is None:
+                lineno = getattr(node, "lineno", 1)
+                missing.append((path, lineno, kind, name or path.stem))
+    return missing, total
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", type=Path,
+                        help="package directory (or single .py file)")
+    parser.add_argument("--fail-under", type=float, default=None,
+                        metavar="PCT",
+                        help="exit 1 when coverage %% is below this")
+    parser.add_argument("--list-missing", action="store_true",
+                        help="print every undocumented definition")
+    args = parser.parse_args(argv)
+
+    if not args.root.exists():
+        parser.error(f"{args.root} does not exist")
+    missing, total = measure(args.root)
+    documented = total - len(missing)
+    coverage = 100.0 * documented / total if total else 100.0
+
+    if args.list_missing:
+        for path, lineno, kind, name in missing:
+            print(f"{path}:{lineno}: {kind} {name}")
+    print(
+        f"docstring coverage: {documented}/{total} = {coverage:.1f}% "
+        f"({len(missing)} missing)"
+    )
+    if args.fail_under is not None and coverage < args.fail_under:
+        print(
+            f"FAILED: coverage {coverage:.1f}% is below the "
+            f"--fail-under gate of {args.fail_under:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
