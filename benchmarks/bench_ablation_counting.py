@@ -1,6 +1,6 @@
-"""Ablation: dominance-counting engines (blocked / D&C / sweep / naive).
+"""Ablation: dominance-counting engines (kernel / blocked / D&C / naive).
 
-The paper's Algorithms 1-2 vs the vectorized fast path: all engines
+The paper's Algorithms 1-2 vs the vectorized fast paths: all engines
 must agree; the bench records their relative cost at several sizes.
 """
 
@@ -10,14 +10,17 @@ import pytest
 from repro.dstruct.dominance import (
     count_dominators_blocked,
     count_dominators_divide_conquer,
+    count_dominators_kernel,
     count_dominators_naive,
     count_dominators_sweep,
 )
+from repro.dstruct.kernels import count_dominators_merge2d
 from repro.experiments.report import render_table
 
 from conftest import publish
 
 _ENGINES_3D = {
+    "kernel": count_dominators_kernel,
     "blocked": count_dominators_blocked,
     "divide_conquer": count_dominators_divide_conquer,
     "naive": count_dominators_naive,
@@ -57,3 +60,10 @@ def test_count_sweep_2d(benchmark):
     expected = count_dominators_blocked(data)
     assert count_dominators_sweep(data).tolist() == expected.tolist()
     benchmark(count_dominators_sweep, data)
+
+
+def test_count_merge2d(benchmark):
+    data = np.random.default_rng(8).random((5_000, 2))
+    expected = count_dominators_blocked(data)
+    assert count_dominators_merge2d(data).tolist() == expected.tolist()
+    benchmark(count_dominators_merge2d, data)

@@ -5,15 +5,15 @@ at increasing worker counts (the chunked pipeline), verifies the layer
 arrays are identical, and reports wall-clock speedup plus the
 per-phase timer breakdown from the ``build.*`` metrics.
 
-Two sources of speedup compose:
-
-* the chunked pipeline collapses the serial schedule's B-1 dominance
-  passes per (system, side) into one vectorized threshold sweep, which
-  wins even on a single core;
-* with more than one usable core, chunks additionally fan out across a
-  ``ProcessPoolExecutor`` (the ``build.pool_used`` counter records
-  whether the pool actually engaged — on single-core machines it is
-  bypassed because competing processes would only add overhead).
+Both pipelines run the fused bitset counting kernel
+(:mod:`repro.core.kernels`), so on a single core their times are
+near-identical; with more than one usable core the parallel pipeline
+additionally fans per-system level chunks out across a
+``ProcessPoolExecutor`` (the ``build.pool_used`` counter records
+whether the pool actually engaged — on single-core machines it is
+bypassed because competing processes would only add overhead).  The
+kernel-vs-legacy speedup itself is measured by
+``bench_build_kernels.py``.
 
 Runnable standalone (CI smoke: ``python benchmarks/bench_parallel_build.py
 --quick``) or through pytest via :func:`test_parallel_build_speedup`.
@@ -73,8 +73,8 @@ def run(n: int, d: int = 3, n_partitions: int = 10, seed: int = 0) -> str:
     for name, value in sorted(timers.items(), key=lambda kv: -kv[1]):
         if name.startswith("build."):
             lines.append(f"  {name:<28}{value:>9.2f}s")
-    rechecks = build.metrics["counters"].get("build.recheck_pairs", 0)
-    lines.append(f"  exact boundary rechecks     {rechecks:>9,d} pairs")
+    fused = build.metrics["counters"].get("counting.fused_levels", 0)
+    lines.append(f"  fused kernel level passes   {fused:>9,d}")
     return "\n".join(lines)
 
 

@@ -193,6 +193,25 @@ def _cmd_stats(args) -> int:
         )
     )
 
+    counting = obs.Metrics()
+    counting.counters = {
+        name: value
+        for name, value in build.counters.items()
+        if name.startswith("counting.")
+    }
+    counting.timers = {
+        name: value
+        for name, value in build.timers.items()
+        if name.startswith("counting.")
+    }
+    if counting:
+        print()
+        print(
+            counting.summary(
+                "counting engines (selection, kernel time, fallbacks):"
+            )
+        )
+
     workload = [
         LinearQuery(weights)
         for weights in sample_simplex(

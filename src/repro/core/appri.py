@@ -38,16 +38,17 @@ All region sizes are dominance-factor counts in transformed spaces
 
 Construction pipelines
 ----------------------
-``workers=1`` (the default) runs the paper's serial schedule — one
-dominance pass per gamma level per side — and is kept bit-identical
-release to release.  ``workers > 1`` switches to the chunked parallel
-pipeline (:mod:`repro.core.pipeline`): per-tuple chunks are dispatched
-across worker processes and each (system, side) collapses its B-1
-level passes into one threshold sweep.  The two pipelines produce
-**identical layers** on every input; the parallel one is simply faster
-(also with a single worker slot on a single core, thanks to the
-batched sweep).  :func:`appri_build` exposes per-phase build metrics;
-:func:`appri_layers` returns just the layer array.
+``workers=1`` (the default) walks the pair systems serially,
+computing each system's level sizes with the fused bitset kernel
+(:func:`repro.core.kernels.pair_level_data`) — the schedule is
+deterministic and kept bit-identical release to release.
+``workers > 1`` switches to the chunked parallel pipeline
+(:mod:`repro.core.pipeline`): the same kernel runs on per-system
+chunks of gamma levels dispatched across worker processes.  The two
+pipelines produce **identical layers** on every input because they
+run the same kernel on a different schedule.  :func:`appri_build`
+exposes per-phase build metrics; :func:`appri_layers` returns just
+the layer array.
 """
 
 from __future__ import annotations
@@ -154,10 +155,13 @@ def appri_layers(
         build cost (Figures 6-7 study this trade-off; B = 10 is the
         paper's operating point).
     counting:
-        Dominance-counting engine for the serial pipeline (see
+        Dominance-counting engine (see
         :func:`repro.dstruct.dominance.count_dominators`).  The
-        parallel pipeline uses its own chunked kernel, which produces
-        the same counts for every engine choice.
+        default ``auto`` (and ``kernel``) runs the fused vectorized
+        kernels; explicit legacy engines run the paper's per-level
+        schedule — same counts either way (the ablation benchmark
+        compares them).  The parallel pipeline always uses the fused
+        kernels.
     matching:
         ``greedy`` (exact staircase matching) or ``lemma3`` (the
         paper's closed form); the two are provably equal, both kept
@@ -173,8 +177,8 @@ def appri_layers(
         with up to that many worker processes.  Identical output
         either way.
     chunk_size:
-        Tuples per parallel task (``workers > 1`` only); ``None``
-        picks ~4 chunks per worker.
+        Gamma levels per parallel task (``workers > 1`` only);
+        ``None`` picks ~4 chunks per worker per system.
 
     Returns
     -------
@@ -240,7 +244,7 @@ def appri_build(
 
 
 def _serial_layers(pts, n_partitions, counting, matching, systems, refine):
-    """The paper's serial schedule — one dominance pass per level."""
+    """Serial schedule: one fused kernel call per pair system."""
     n = pts.shape[0]
     with obs.timed("build.phase.dominators"):
         dominators = count_dominators(pts, method=counting).astype(np.int64)
@@ -327,17 +331,29 @@ def _wedges_from_levels(a_levels: np.ndarray, b_levels: np.ndarray):
 def wedge_counts(points, pair, n_partitions, counting="auto"):
     """Per-tuple wedge sizes ``(|I_i|, |III_i|)`` for one pair system.
 
-    Each level size is one dominance-factor pass over a transformed
-    copy of the data (the serial schedule; the parallel pipeline gets
-    the same level sizes from one threshold sweep per side).
+    With ``counting="auto"`` (or ``"kernel"``) all of the system's
+    level sizes come from one fused bitset kernel
+    (:func:`repro.core.kernels.pair_level_data`) that shares the
+    bilinear columns across sides and the lead columns across levels.
+    An explicit legacy engine runs the paper's schedule instead — one
+    dominance pass per level per side — which the ablation benchmark
+    uses for comparison; both produce bit-identical wedge sizes.
 
     Returns two ``(n, B)`` arrays.
     """
     pts = np.asarray(points, dtype=float)
     n = pts.shape[0]
     b = n_partitions
-    gammas = gamma_levels(b)
 
+    if counting in ("auto", "kernel"):
+        from .kernels import pair_level_data
+
+        a_levels, b_levels = pair_level_data(pts, pair, b)
+        obs.inc("counting.engine.fused")
+        return _wedges_from_levels(a_levels, b_levels)
+
+    obs.inc("counting.fallback.explicit_engine")
+    gammas = gamma_levels(b)
     a_levels = np.zeros((n, b + 1), dtype=np.int64)  # a_levels[:, p] = |a_p|
     b_levels = np.zeros((n, b + 1), dtype=np.int64)
     for p, gamma in enumerate(gammas, start=1):

@@ -1,0 +1,170 @@
+"""Fused level-region counting for the AppRI build.
+
+The serial schedule (:func:`repro.core.appri.wedge_counts`) runs one
+full dominance pass per gamma level per side — ``2B`` transformed-space
+passes per pair system — and each pass re-sorts every transformed
+column from scratch.  This module collapses all of a system's passes
+into one fused kernel built on the packed-bitset machinery of
+:mod:`repro.dstruct.kernels`, exploiting two kinds of sharing the
+per-level schedule cannot see:
+
+* **Across sides.**  :func:`repro.core.partitioning.level_transform`
+  gives side a and side b the *same* bilinear columns
+  ``gamma * x_i + x_j`` for ``(i, j) in J2 x J1`` — only the lead
+  columns differ.  The fused kernel computes each bilinear dominator
+  bitset once per level and ANDs it against both sides' lead bitsets,
+  halving the dominant cost.
+* **Across levels.**  The lead columns (shared-below attributes and
+  the negated above-attributes) do not depend on gamma, so their
+  combined bitsets are built once per system and reused for every
+  level, including the two full-subspace passes.
+
+Every comparison is made on the *exact float values* the serial
+transforms produce (the same ``gamma * pts[:, i] + pts[:, j]`` /
+``-pts[:, j]`` expressions), so the level sizes are bit-identical to
+the per-level :func:`repro.dstruct.dominance.count_dominators` passes
+on any input, ties included — the property suite in
+``tests/core/test_kernels.py`` checks this against every legacy
+engine.  Peak memory is bounded by processing the dominator bitsets in
+bit-space chunks (:func:`repro.dstruct.kernels.bit_chunks`).
+
+:func:`pair_level_data` is the entry point; the serial builder calls
+it per system and the parallel pipeline dispatches per-level subsets
+of it as tasks (``levels=``) so chunked builds reuse the same code and
+stay identical by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import obs
+from ..dstruct.kernels import (
+    MATRIX_BYTES_BUDGET,
+    bit_chunks,
+    popcount_rows,
+    prefix_bit_matrix,
+    sort_and_rank,
+)
+from ..geometry.weights import gamma_levels
+from .partitioning import SubspacePair
+
+__all__ = ["pair_level_data", "SUBSPACE_LEVEL"]
+
+#: Sentinel level index for the two full-subspace passes of a system:
+#: ``levels`` containing ``n_partitions`` requests the ``|a|``/``|b|``
+#: whole-subspace counts (columns ``B`` of ``a_levels`` and ``0`` of
+#: ``b_levels``) alongside — or instead of — the interior gamma levels.
+SUBSPACE_LEVEL = -1  # documented alias resolved to B at call time
+
+
+def _acc(ranked, n, lo, hi, gather):
+    """AND of the chunk-restricted dominator bitsets of ``ranked`` columns."""
+    acc = None
+    for order, g in ranked:
+        matrix = prefix_bit_matrix(order, n, lo, hi)
+        if acc is None:
+            acc = matrix[g]
+        else:
+            np.take(matrix, g, axis=0, out=gather)
+            acc &= gather
+    return acc
+
+
+def pair_level_data(
+    points: np.ndarray,
+    pair: SubspacePair,
+    n_partitions: int,
+    levels=None,
+    budget_bytes: int = MATRIX_BYTES_BUDGET,
+):
+    """All level-region sizes of one pair system, in one fused kernel.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` data matrix.
+    pair:
+        The system whose nested regions are counted.
+    n_partitions:
+        The paper's B.
+    levels:
+        Which passes to run: integers in ``1..B`` where ``p < B`` is
+        the interior gamma level ``gamma_p`` (filling columns
+        ``a_levels[:, p]`` and ``b_levels[:, p]``) and ``p == B`` is
+        the pair of full-subspace passes (filling ``a_levels[:, B]``
+        and ``b_levels[:, 0]``).  ``None`` runs them all — what the
+        serial schedule computes per system.  The parallel pipeline
+        passes subsets; unioned over a cover of ``1..B`` the results
+        are identical to one full call.
+    budget_bytes:
+        Bit-space chunking budget (see
+        :data:`repro.dstruct.kernels.MATRIX_BYTES_BUDGET`).
+
+    Returns
+    -------
+    ``(a_levels, b_levels)`` — two ``(n, B + 1)`` int64 arrays laid
+    out exactly like :func:`repro.core.appri.wedge_counts` builds
+    them; unrequested columns (and the always-empty ``b_levels[:, B]``
+    / ``a_levels[:, 0]``) are zero.
+    """
+    pts = np.asarray(points, dtype=float)
+    n = pts.shape[0]
+    b = int(n_partitions)
+    a_levels = np.zeros((n, b + 1), dtype=np.int64)
+    b_levels = np.zeros((n, b + 1), dtype=np.int64)
+    wanted = sorted({b if p == SUBSPACE_LEVEL else int(p) for p in levels}
+                    if levels is not None else range(1, b + 1))
+    if n == 0 or not wanted:
+        return a_levels, b_levels
+    if wanted[0] < 1 or wanted[-1] > b:
+        raise ValueError(f"levels must lie in 1..{b}; got {wanted}")
+
+    gammas = gamma_levels(b)
+    j1 = list(pair.side_a_above)
+    j2 = list(pair.side_b_above)
+    shared = [pts[:, i] for i in pair.shared_below]
+
+    with obs.timed("counting.kernel"):
+        # Gamma-independent column families, ranked once and reused
+        # across every bit-space chunk and every level.
+        lead_a = [sort_and_rank(c) for c in shared + [-pts[:, j] for j in j1]]
+        lead_b = [sort_and_rank(c) for c in shared + [-pts[:, i] for i in j2]]
+        run_subspace = wanted[-1] == b
+        interior = [p for p in wanted if p < b]
+        if run_subspace:
+            # The remaining columns of the two subspace transforms: the
+            # side's full region adds "strictly below on the *other*
+            # side's above-dimensions" to its lead constraints.
+            sub_a = [sort_and_rank(pts[:, i]) for i in j2]
+            sub_b = [sort_and_rank(pts[:, j]) for j in j1]
+        ranked_bilinear = [
+            [
+                sort_and_rank(float(gammas[p - 1]) * pts[:, i] + pts[:, j])
+                for i in j2
+                for j in j1
+            ]
+            for p in interior
+        ]
+        obs.inc("counting.fused_levels", len(interior) + 2 * run_subspace)
+
+        for lo, hi in bit_chunks(n, budget_bytes):
+            words = (hi - lo + 63) >> 6
+            gather = np.empty((n, words), dtype=np.uint64)
+            combine = np.empty((n, words), dtype=np.uint64)
+            acc_a = _acc(lead_a, n, lo, hi, gather)
+            acc_b = _acc(lead_b, n, lo, hi, gather)
+            if run_subspace:
+                np.bitwise_and(acc_a, _acc(sub_a, n, lo, hi, gather),
+                               out=combine)
+                a_levels[:, b] += popcount_rows(combine)
+                np.bitwise_and(acc_b, _acc(sub_b, n, lo, hi, gather),
+                               out=combine)
+                b_levels[:, 0] += popcount_rows(combine)
+            for p, ranked in zip(interior, ranked_bilinear):
+                bil = _acc(ranked, n, lo, hi, gather)
+                np.bitwise_and(bil, acc_a, out=combine)
+                a_levels[:, p] += popcount_rows(combine)
+                np.bitwise_and(bil, acc_b, out=combine)
+                b_levels[:, p] += popcount_rows(combine)
+    return a_levels, b_levels

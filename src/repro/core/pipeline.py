@@ -1,49 +1,37 @@
 """Parallel chunked AppRI construction pipeline.
 
 The serial builder (:func:`repro.core.appri.appri_layers` with
-``workers=1``) runs ``2B`` dominance passes per pair system: one
-transformed-space pass per gamma level per side (Eqns 1-2).  This
-module is the ``workers > 1`` fast path.  It decomposes the build into
-independent **chunks of query tuples** and replaces the per-level
-passes with a single threshold sweep per (system, side, chunk):
+``workers=1``) walks the pair systems one at a time, computing each
+system's level-region sizes with the fused bitset kernel
+(:func:`repro.core.kernels.pair_level_data`).  This module is the
+``workers > 1`` fast path: it decomposes the same computation into
+independent **chunks of gamma levels** and dispatches them over a
+process pool:
 
-1.  Tuples are sorted by the side's primary above-dimension and chunks
-    cover contiguous *sorted* ranges, so a chunk's candidate set is
-    the sorted suffix from its first position (everything before it
-    can never lie in the side's subspace).  Across chunks the suffixes
-    telescope — total pair work matches a single sorted walk.
-2.  For each surviving (candidate, query) pair, the bilinear wedge
-    constraints ``gamma * u_i + u_j < gamma * t_i + t_j`` are solved
-    for gamma once: membership in the nested level regions is
-    ``gamma > gamma*`` (side a) or ``gamma < gamma*`` (side b), so one
-    ``searchsorted`` against the gamma grid yields the pair's
-    contribution to *every* level at once — B-1 passes collapse into
-    one.
-3.  Per-tuple level counts follow from a ``bincount`` histogram of the
-    threshold indices.
+1.  One task computes the global dominance factor.
+2.  For every pair system, the levels ``1..B`` (interior gamma levels
+    plus the paired full-subspace passes at index ``B``) are covered
+    by contiguous ranges; each ``("lev", s, p_lo, p_hi)`` task runs
+    :func:`~repro.core.kernels.pair_level_data` restricted to its
+    range and returns the two partially-filled ``(n, B + 1)`` level
+    arrays.  Level columns are disjoint across tasks, so the
+    coordinator combines results with plain array addition.
 
-The cheap passes — the global dominance factor and the two
-full-subspace passes per system — go through the tuned engines in
-:mod:`repro.dstruct.dominance` as whole-array tasks; chunking them
-would trade an O(n log n) sweep for quadratic work.
-
-Exactness.  The serial path compares floating-point transformed
-coordinates; the threshold is algebraically equivalent but rounds
-differently.  Every pair whose threshold lies within a conservative
-error band of a gamma boundary (the band is derived from the data's
-magnitude; see ``_ERR_SCALE``) is re-evaluated with the serial path's
-exact expressions, so chunked counts are **identical** to serial
-counts on any input — the parallel-equals-serial metamorphic test in
-``tests/properties`` locks this in.
+Because every task runs the *same* kernel the serial path runs — just
+on a subset of levels — chunked counts are **identical** to serial
+counts on any input, for any ``workers`` or ``chunk_size`` (the
+parallel-equals-serial metamorphic test in ``tests/properties`` locks
+this in).  There is no floating-point re-derivation to reconcile: the
+kernel compares the exact transformed values the serial schedule
+compares.
 
 Tasks are pure functions of ``(points, B, systems)`` plus a task
 descriptor, dispatched over a ``ProcessPoolExecutor``; each worker
-holds the data once (pool initializer) and returns small per-chunk
-count arrays plus a metrics snapshot the coordinator merges.  The pool
+holds the data once (pool initializer) and returns per-range count
+arrays plus a metrics snapshot the coordinator merges.  The pool
 engages only when it can pay for itself: at least ``POOL_MIN_N``
 tuples *and* more than one usable core (on a single core the same
-tasks run inline — identical results, no process overhead, and the
-threshold sweep still beats the serial schedule outright).
+tasks run inline — identical results, no process overhead).
 """
 
 from __future__ import annotations
@@ -55,13 +43,12 @@ import numpy as np
 
 from .. import obs
 from ..dstruct.dominance import count_dominators
-from ..geometry.weights import gamma_levels
-from .partitioning import SubspacePair, pair_systems, subspace_transform
+from .kernels import pair_level_data
+from .partitioning import pair_systems
 
 __all__ = [
     "build_level_data",
     "plan_chunks",
-    "level_counts_range",
     "POOL_MIN_N",
 ]
 
@@ -69,17 +56,6 @@ __all__ = [
 #: (identical output; avoids process start-up costing more than the
 #: build).  Tests monkeypatch this to force the pool on small inputs.
 POOL_MIN_N = 2048
-
-#: Target element count for one broadcasted comparison block; bounds
-#: the (chunk, candidates) scratch arrays to a few tens of megabytes.
-_BLOCK_ELEMS = 2_000_000
-
-#: Multiplier on the machine-epsilon error bound used to flag pairs
-#: near a gamma boundary for exact re-evaluation.  Generous on purpose:
-#: rechecks are vectorized and vanishingly rare on generic data.
-_ERR_SCALE = 32.0
-
-_EPS = float(np.finfo(np.float64).eps)
 
 
 def _usable_cpus() -> int:
@@ -95,208 +71,22 @@ def _usable_cpus() -> int:
 # ---------------------------------------------------------------------------
 
 
-def plan_chunks(n: int, workers: int, chunk_size: int | None = None):
-    """Contiguous ``[lo, hi)`` position ranges covering ``range(n)``.
+def plan_chunks(n_levels: int, workers: int, chunk_size: int | None = None):
+    """Contiguous ``[lo, hi)`` ranges covering levels ``1..n_levels``.
 
-    The default chunk size aims at ~4 chunks per worker so stragglers
-    rebalance, floored so tiny inputs do not shatter into per-tuple
-    tasks.
+    ``chunk_size`` is the number of gamma levels per task; the default
+    aims at ~4 chunks per worker within one system so stragglers
+    rebalance across the (systems x chunks) task grid.
     """
-    if n == 0:
+    if n_levels <= 0:
         return []
     if chunk_size is None:
-        chunk_size = max(512, -(-n // (4 * max(workers, 1))))
-    chunk_size = max(1, min(int(chunk_size), n))
-    return [(lo, min(lo + chunk_size, n)) for lo in range(0, n, chunk_size)]
-
-
-# ---------------------------------------------------------------------------
-# Chunked threshold sweep
-# ---------------------------------------------------------------------------
-
-
-def level_counts_range(
-    points: np.ndarray,
-    pair: SubspacePair,
-    n_partitions: int,
-    side: str,
-    p_lo: int,
-    p_hi: int,
-):
-    """Level-region sizes for one (system, side) and one sorted chunk.
-
-    ``p_lo..p_hi`` index positions in ascending order of the side's
-    primary above-dimension (stable argsort), so the candidate set is
-    the sorted suffix from ``p_lo``.  Returns ``(ids, counts)``:
-    ``ids`` are the chunk's original row indices and ``counts`` is a
-    ``(p_hi - p_lo, B + 1)`` array whose columns ``1..B-1`` hold
-    ``|a_p|`` (side ``a``) or ``|b_p|`` (side ``b``) for the interior
-    gamma levels — exactly what the serial
-    :func:`repro.core.appri.wedge_counts` computes with one dominance
-    pass per level.  Columns 0 and B are left zero; the full-subspace
-    passes fill them (see :func:`build_level_data`).
-    """
-    pts = np.asarray(points, dtype=float)
-    n = pts.shape[0]
-    b = n_partitions
-    j1 = list(pair.side_a_above)
-    j2 = list(pair.side_b_above)
-    above = j1 if side == "a" else j2
-    primary = above[0]
-    order = np.argsort(pts[:, primary], kind="stable")
-    ids = order[p_lo:p_hi]
-    counts = np.zeros((p_hi - p_lo, b + 1), dtype=np.int64)
-    gammas = gamma_levels(b)
-    if gammas.size == 0 or n == 0 or p_hi <= p_lo:
-        return ids, counts
-    below = list(pair.shared_below)
-    cons = [(i, j) for i in j2 for j in j1]
-    g_lo, g_hi = float(gammas[0]), float(gammas[-1])
-    err = np.array(
-        [
-            _ERR_SCALE
-            * _EPS
-            * (g_hi * np.abs(pts[:, i]).max() + np.abs(pts[:, j]).max())
-            for i, j in cons
-        ]
-    )
-
-    sx = pts[order]
-    blk = max(8, _BLOCK_ELEMS // max(1, n))
-    recheck_pairs = 0
-    for s in range(p_lo, p_hi, blk):
-        e = min(s + blk, p_hi)
-        qn = e - s
-        # Candidates must exceed the query on `primary`; in ascending
-        # `primary` order they all sit at or after the block's first
-        # position (ties are rejected by the strict mask).
-        cand = sx[s:]
-        qv = sx[s:e]
-        mask = cand[None, :, primary] > qv[:, None, primary]
-        for col in above[1:]:
-            mask &= cand[None, :, col] > qv[:, None, col]
-        for col in below:
-            mask &= cand[None, :, col] < qv[:, None, col]
-        delta = {
-            col: cand[None, :, col] - qv[:, None, col]
-            for col in {c for ij in cons for c in ij}
-        }
-        if side == "a":
-            gstar, margin, never_unc = _side_a_thresholds(cons, delta, err)
-            gstar = np.where(mask, gstar, np.inf)
-            first = np.searchsorted(gammas, gstar, side="right")
-            uncertain = mask & (
-                never_unc
-                | (
-                    np.searchsorted(gammas, gstar - margin, side="left")
-                    != np.searchsorted(gammas, gstar + margin, side="right")
-                )
-            )
-            # A pair joins every level past its threshold: histogram
-            # the first-member index, then prefix-sum across levels.
-            first = np.where(mask & ~uncertain, first, b - 1)
-            rows = np.arange(qn, dtype=np.int64)[:, None] * b
-            hist = np.bincount(
-                (rows + first).ravel(), minlength=qn * b
-            ).reshape(qn, b)
-            counts[s - p_lo : e - p_lo, 1:b] += np.cumsum(
-                hist[:, : b - 1], axis=1
-            )
-        else:
-            gstar, margin, never_unc = _side_b_thresholds(
-                cons, delta, err, g_lo
-            )
-            gstar = np.where(mask, gstar, -np.inf)
-            last = np.searchsorted(gammas, gstar, side="left")
-            uncertain = mask & (
-                never_unc
-                | (
-                    np.searchsorted(gammas, gstar - margin, side="left")
-                    != np.searchsorted(gammas, gstar + margin, side="right")
-                )
-            )
-            # A pair belongs to every level before its threshold:
-            # histogram the last-member index, suffix-sum across levels.
-            last = np.where(mask & ~uncertain, last, 0)
-            rows = np.arange(qn, dtype=np.int64)[:, None] * (b + 1)
-            hist = np.bincount(
-                (rows + last).ravel(), minlength=qn * (b + 1)
-            ).reshape(qn, b + 1)
-            suffix = np.cumsum(hist[:, ::-1], axis=1)[:, ::-1]
-            counts[s - p_lo : e - p_lo, 1:b] += suffix[:, 1:b]
-        if uncertain.any():
-            recheck_pairs += int(uncertain.sum())
-            qi, ci = np.nonzero(uncertain)
-            _recheck_exact(
-                pts,
-                counts,
-                cons,
-                gammas,
-                t_local=(s - p_lo) + qi,
-                t_ids=order[s + qi],
-                u_ids=order[s + ci],
-            )
-    if recheck_pairs:
-        obs.inc("build.recheck_pairs", recheck_pairs)
-    return ids, counts
-
-
-def _side_a_thresholds(cons, delta, err):
-    """Per-pair gamma threshold for side-a membership (gamma > gstar).
-
-    A constraint with ``delta_i >= 0`` can never hold (its left side
-    only grows with gamma), except in the floating-point boundary case
-    where the serial comparison could still fire — those pairs are
-    flagged for exact recheck via ``never_unc``.
-    """
-    shape = next(iter(delta.values())).shape
-    gstar = np.full(shape, -np.inf)
-    margin = np.zeros(shape)
-    never_unc = np.zeros(shape, dtype=bool)
-    for (i, j), e in zip(cons, err):
-        di, dj = delta[i], delta[j]
-        neg = di < 0
-        inv = np.zeros_like(di)
-        np.divide(1.0, -di, out=inv, where=neg)
-        np.maximum(gstar, np.where(neg, dj * inv, np.inf), out=gstar)
-        np.maximum(margin, e * inv, out=margin)
-        never_unc |= ~neg & (dj <= e)
-    return gstar, margin, never_unc
-
-
-def _side_b_thresholds(cons, delta, err, g_lo):
-    """Per-pair gamma threshold for side-b membership (gamma < gstar)."""
-    shape = next(iter(delta.values())).shape
-    gstar = np.full(shape, np.inf)
-    margin = np.zeros(shape)
-    never_unc = np.zeros(shape, dtype=bool)
-    for (i, j), e in zip(cons, err):
-        di, dj = delta[i], delta[j]  # di > 0 under the lead mask
-        neg = dj < 0
-        pos = di > 0
-        inv = np.zeros_like(di)
-        np.divide(1.0, di, out=inv, where=pos)
-        np.minimum(gstar, np.where(neg, -dj * inv, -np.inf), out=gstar)
-        np.maximum(margin, e * inv, out=margin)
-        never_unc |= ~neg & (g_lo * di <= e)
-    return gstar, margin, never_unc
-
-
-def _recheck_exact(pts, counts, cons, gammas, t_local, t_ids, u_ids):
-    """Re-evaluate flagged pairs with the serial path's expressions.
-
-    Membership at each level compares ``gamma * x_i + x_j`` exactly as
-    :func:`repro.core.partitioning.level_transform` computes it, so the
-    flagged pairs contribute the same counts they would under the
-    serial per-level passes.
-    """
-    for p, gamma in enumerate(gammas, start=1):
-        member = np.ones(t_ids.shape, dtype=bool)
-        for i, j in cons:
-            member &= (gamma * pts[u_ids, i] + pts[u_ids, j]) < (
-                gamma * pts[t_ids, i] + pts[t_ids, j]
-            )
-        np.add.at(counts[:, p], t_local[member], 1)
+        chunk_size = -(-n_levels // (4 * max(workers, 1)))
+    chunk_size = max(1, min(int(chunk_size), n_levels))
+    return [
+        (lo, min(lo + chunk_size, n_levels + 1))
+        for lo in range(1, n_levels + 1, chunk_size)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -327,16 +117,12 @@ def _run_task(task):
         if kind == "dom":
             with obs.timed("build.phase.dominators"):
                 payload = count_dominators(pts).astype(np.int64)
-        elif kind == "sub":
-            _, s, side = task
-            with obs.timed("build.phase.subspace"):
-                payload = count_dominators(
-                    subspace_transform(pts, systems[s], side)
-                ).astype(np.int64)
         elif kind == "lev":
-            _, s, side, lo, hi = task
+            _, s, p_lo, p_hi = task
             with obs.timed("build.phase.levels"):
-                payload = level_counts_range(pts, systems[s], b, side, lo, hi)
+                payload = pair_level_data(
+                    pts, systems[s], b, levels=range(p_lo, p_hi)
+                )
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown task kind {kind!r}")
         obs.inc("build.tasks")
@@ -362,7 +148,7 @@ def build_level_data(
     is a list over pair systems of ``(a_levels, b_levels)`` arrays of
     shape ``(n, B + 1)`` laid out exactly like the serial
     :func:`repro.core.appri.wedge_counts` internals: interior columns
-    from the gamma sweep, column B of ``a`` / column 0 of ``b`` from
+    from the gamma levels, column B of ``a`` / column 0 of ``b`` from
     the full-subspace passes, the remaining boundary columns zero.
 
     Counts are integer-identical to the serial path regardless of
@@ -372,14 +158,11 @@ def build_level_data(
     n, d = pts.shape
     b = int(n_partitions)
     systems = pair_systems(d, include_partial=include_partial)
-    chunks = plan_chunks(n, workers, chunk_size)
+    chunks = plan_chunks(b, workers, chunk_size)
 
     tasks: list[tuple] = [("dom",)]
     for s in range(len(systems)):
-        for side in ("a", "b"):
-            tasks.append(("sub", s, side))
-            if b > 1:
-                tasks += [("lev", s, side, lo, hi) for lo, hi in chunks]
+        tasks += [("lev", s, lo, hi) for lo, hi in chunks]
 
     use_pool = (
         workers > 1
@@ -418,18 +201,12 @@ def build_level_data(
     for task, payload, task_metrics in results:
         if metrics is not None:
             metrics.merge(task_metrics)
-        kind = task[0]
-        if kind == "dom":
+        if task[0] == "dom":
             dominators[:] = payload
-        elif kind == "sub":
-            _, s, side = task
-            if side == "a":
-                level_data[s][0][:, b] = payload
-            else:
-                level_data[s][1][:, 0] = payload
         else:
-            _, s, side, _, _ = task
-            ids, counts = payload
-            target = level_data[s][0] if side == "a" else level_data[s][1]
-            target[ids, :] += counts
+            s = task[1]
+            a_part, b_part = payload
+            # Tasks cover disjoint level columns, so addition combines.
+            level_data[s][0][:] += a_part
+            level_data[s][1][:] += b_part
     return dominators, level_data, systems

@@ -9,23 +9,30 @@ which keeps the robust-layer bound a valid lower bound (tuples are only
 ever placed in *shallower* layers, never deeper — soundness of the
 layered index is preserved).
 
-Four interchangeable engines are provided:
+Five interchangeable engines are provided:
 
 ``naive``
     O(n^2 d) reference loop; ground truth for tests.
 ``blocked``
     Vectorized NumPy O(n^2 d) with a sorted-prefix pruning that halves
-    the comparisons; the fastest engine in pure Python for the data
-    sizes the paper uses.  Works for any input, ties included.
+    the comparisons.  Works for any input, ties included.
 ``sweep``
     The paper's Algorithm 1 for d=2: sort by the first attribute, keep
     an order-statistic structure over the second.  O(n log n).
 ``divide_conquer``
     The paper's Algorithm 2 for d>=3: recursive partition/merge with a
     two-dimensional sort-merge base case.  O(n (log n)^{d-1}).  The
-    split invariants require duplicate-free coordinates (the paper's
-    assumption); ``count_dominators`` only auto-selects it when that
-    holds.
+    partition step splits at attribute *values* (three-way), so tied
+    and duplicate-column data are handled exactly — the paper's
+    duplicate-free assumption is not required.
+``kernel``
+    The vectorized offline engines of :mod:`repro.dstruct.kernels`:
+    offline merge counting for d=2, packed dominance bitsets for
+    d>=3.  Exact under ties, and the fastest engine by an order of
+    magnitude at the paper's data sizes; ``auto`` selects it for every
+    multi-dimensional input (1-D inputs use a searchsorted
+    short-cut).  Engine selection and kernel time are observable via
+    the ``counting.*`` counters/timers (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ import numpy as np
 
 from .. import obs
 from .fenwick import FenwickTree, compress_values
+from .kernels import count_dominators_bitset, count_dominators_merge2d
 
 __all__ = [
     "count_dominators",
@@ -41,11 +49,12 @@ __all__ = [
     "count_dominators_blocked",
     "count_dominators_sweep",
     "count_dominators_divide_conquer",
+    "count_dominators_kernel",
     "columns_duplicate_free",
 ]
 
 #: Engines accepted by :func:`count_dominators`.
-_METHODS = ("auto", "naive", "blocked", "sweep", "divide_conquer")
+_METHODS = ("auto", "naive", "blocked", "sweep", "divide_conquer", "kernel")
 
 
 def _as_points(points: np.ndarray) -> np.ndarray:
@@ -71,9 +80,11 @@ def count_dominators(points: np.ndarray, method: str = "auto") -> np.ndarray:
     points:
         ``(n, d)`` array of tuples.
     method:
-        One of ``auto | naive | blocked | sweep | divide_conquer``.
-        ``auto`` picks the sweep for duplicate-free 2-D inputs and the
-        blocked engine otherwise.
+        One of ``auto | naive | blocked | sweep | divide_conquer |
+        kernel``.  ``auto`` picks the vectorized kernel for every
+        multi-dimensional input — ties and duplicate columns are
+        handled exactly, so there is no data-shape fallback — and a
+        searchsorted short-cut for 1-D inputs.
 
     Returns
     -------
@@ -88,12 +99,12 @@ def count_dominators(points: np.ndarray, method: str = "auto") -> np.ndarray:
     if method == "auto":
         if d == 1:
             method = "one_dim"
-        elif d == 2 and columns_duplicate_free(pts):
-            method = "sweep"
+            obs.inc("counting.fallback.one_dim")
         else:
-            method = "blocked"
+            method = "kernel"
     obs.inc("df.passes")
     obs.inc("df.tuples", n)
+    obs.inc(f"counting.engine.{method}")
     with obs.timed(f"df.{method}"):
         if method == "one_dim":
             return _count_one_dim(pts)
@@ -103,7 +114,26 @@ def count_dominators(points: np.ndarray, method: str = "auto") -> np.ndarray:
             return count_dominators_blocked(pts)
         if method == "sweep":
             return count_dominators_sweep(pts)
+        if method == "kernel":
+            with obs.timed("counting.kernel"):
+                return count_dominators_kernel(pts)
         return count_dominators_divide_conquer(pts)
+
+
+def count_dominators_kernel(points: np.ndarray) -> np.ndarray:
+    """Vectorized engine: merge counting (d=2) or packed bitsets (d>=3).
+
+    Dispatches to :mod:`repro.dstruct.kernels`; 1-D inputs use the
+    searchsorted short-cut.  Exact on ties and duplicate columns.
+    """
+    pts = _as_points(points)
+    if pts.shape[1] < 2:
+        return _count_one_dim(pts) if pts.shape[1] else np.zeros(
+            pts.shape[0], dtype=np.intp
+        )
+    if pts.shape[1] == 2:
+        return count_dominators_merge2d(pts)
+    return count_dominators_bitset(pts)
 
 
 def _count_one_dim(pts: np.ndarray) -> np.ndarray:
@@ -190,19 +220,14 @@ def count_dominators_sweep(points: np.ndarray) -> np.ndarray:
 def count_dominators_divide_conquer(points: np.ndarray) -> np.ndarray:
     """Paper Algorithm 2 (d>=2): recursive partition/merge counting.
 
-    Requires duplicate-free coordinates; raises ``ValueError``
-    otherwise because the half-split invariant (every left-half value
-    strictly below every right-half value) would silently break.
+    The paper assumes duplicate-free coordinates; this rendition lifts
+    that restriction by partitioning at attribute *values* (three-way)
+    instead of at positions, so it is exact on tied data too.
     """
     pts = _as_points(points)
     n, d = pts.shape
     if d < 2:
         return _count_one_dim(pts)
-    if not columns_duplicate_free(pts):
-        raise ValueError(
-            "divide_conquer requires duplicate-free coordinates; "
-            "use method='blocked' for tied data"
-        )
     counts = np.zeros(n, dtype=np.intp)
     order = np.argsort(pts[:, 0], kind="stable")
     _dc_partition(pts, counts, order, 0)
@@ -210,16 +235,30 @@ def count_dominators_divide_conquer(points: np.ndarray) -> np.ndarray:
 
 
 def _dc_partition(pts, counts, idx, s) -> None:
-    """Paper's ``Partition``: idx is sorted by dimension ``s``."""
+    """Paper's ``Partition``, made tie-safe: idx is sorted by dim ``s``.
+
+    Splitting three ways at the median *value* keeps the merge
+    invariant (every left row strictly below every right row on
+    ``s``) under duplicates: rows equal to the pivot form a middle
+    group that is never recursed on — equal-on-``s`` rows cannot
+    strictly dominate one another — and merges only across groups
+    whose ``s`` values are strictly ordered.
+    """
     if len(idx) <= 1:
         return
-    half = len(idx) // 2
-    left, right = idx[:half], idx[half:]
+    vals = pts[idx, s]
+    pivot = vals[len(idx) // 2]
+    lo = int(np.searchsorted(vals, pivot, side="left"))
+    hi = int(np.searchsorted(vals, pivot, side="right"))
+    left, mid, right = idx[:lo], idx[lo:hi], idx[hi:]
     _dc_partition(pts, counts, left, s)
     _dc_partition(pts, counts, right, s)
-    # Dimension s is resolved between the halves (duplicate-free sort),
-    # so the merge starts at dimension s + 1.
-    _dc_merge(pts, counts, left, right, s + 1)
+    # Dimension s is strictly resolved across the groups, so the
+    # merges start at dimension s + 1.
+    if len(left):
+        _dc_merge(pts, counts, left, np.concatenate([mid, right]), s + 1)
+    if len(right):
+        _dc_merge(pts, counts, mid, right, s + 1)
 
 
 def _dc_merge(pts, counts, p1, p2, s) -> None:
@@ -268,18 +307,21 @@ def _dc_merge_two_dims(pts, counts, p1, p2, s) -> None:
     """Two-dimensional base case: sort-merge on dim s, tree on dim s+1.
 
     This mirrors Algorithm 1 but inserts only ``p1`` rows and queries
-    only ``p2`` rows (paper Section 5.2.2, case 2).
+    only ``p2`` rows (paper Section 5.2.2, case 2).  At equal ``s``
+    values, queries are ordered *before* inserts (event type 0 < 1) so
+    an equal-on-``s`` candidate is never counted — dominance is
+    strict.
     """
     y_all = np.concatenate([pts[p1, s + 1], pts[p2, s + 1]])
     y_ranks, universe = compress_values(y_all)
     n1 = len(p1)
     events = sorted(
-        [(pts[i, s], 0, int(y_ranks[k])) for k, i in enumerate(p1)]
-        + [(pts[i, s], 1, int(y_ranks[n1 + k]), i) for k, i in enumerate(p2)]
+        [(pts[i, s], 1, int(y_ranks[k])) for k, i in enumerate(p1)]
+        + [(pts[i, s], 0, int(y_ranks[n1 + k]), i) for k, i in enumerate(p2)]
     )
     tree = FenwickTree(universe)
     for event in events:
-        if event[1] == 0:
+        if event[1] == 1:
             tree.add(event[2])
         else:
             counts[event[3]] += tree.prefix_count(event[2] - 1)

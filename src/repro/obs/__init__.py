@@ -27,6 +27,15 @@ Metric names are dotted paths; the prefixes in use:
 ``df.*``
     Dominance-factor counting engines (passes, tuples, per-engine
     time).
+``counting.*``
+    Engine selection and kernel accounting:
+    ``counting.engine.<name>`` counts which engine served each pass
+    (``kernel``, ``fused`` for whole-system kernel calls, or a legacy
+    engine), the ``counting.kernel`` timer accumulates time inside the
+    vectorized kernels, ``counting.fused_levels`` counts level passes
+    served by one fused call, and ``counting.fallback.<reason>``
+    records why a pass ran outside the kernels (``one_dim``,
+    ``explicit_engine``).
 ``exact.*``
     The exact robust-layer solvers.
 ``query.*``

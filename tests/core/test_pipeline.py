@@ -7,69 +7,63 @@ import pytest
 
 from repro.core import pipeline
 from repro.core.appri import appri_build, wedge_counts
-from repro.core.partitioning import level_transform, pair_systems
+from repro.core.kernels import pair_level_data
+from repro.core.partitioning import pair_systems
 from repro.dstruct.dominance import count_dominators
-from repro.geometry.weights import gamma_levels
 from repro.obs import Metrics
 
 
 class TestPlanChunks:
-    def test_covers_range_exactly(self):
-        for n in (1, 5, 512, 513, 5000):
+    def test_covers_levels_exactly(self):
+        for n_levels in (1, 5, 10, 37):
             for workers in (1, 2, 8):
-                chunks = pipeline.plan_chunks(n, workers)
-                assert chunks[0][0] == 0
-                assert chunks[-1][1] == n
+                chunks = pipeline.plan_chunks(n_levels, workers)
+                assert chunks[0][0] == 1
+                assert chunks[-1][1] == n_levels + 1
                 for (_, prev_hi), (lo, _) in zip(chunks, chunks[1:]):
                     assert prev_hi == lo
 
-    def test_empty_input(self):
+    def test_no_levels(self):
         assert pipeline.plan_chunks(0, 4) == []
 
     def test_explicit_chunk_size(self):
         chunks = pipeline.plan_chunks(10, 2, chunk_size=3)
-        assert chunks == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        assert chunks == [(1, 4), (4, 7), (7, 10), (10, 11)]
 
-    def test_chunk_size_clamped_to_n(self):
-        assert pipeline.plan_chunks(4, 2, chunk_size=100) == [(0, 4)]
+    def test_chunk_size_clamped_to_levels(self):
+        assert pipeline.plan_chunks(4, 2, chunk_size=100) == [(1, 5)]
 
 
-class TestLevelCountsRange:
-    @pytest.mark.parametrize("side", ["a", "b"])
+class TestLevelRangeTasks:
     @pytest.mark.parametrize("tied", [False, True])
-    def test_matches_serial_level_passes(self, side, tied):
+    def test_level_ranges_tile_the_full_kernel(self, tied):
         rng = np.random.default_rng(5)
         if tied:
             pts = rng.integers(0, 4, size=(60, 3)).astype(float)
         else:
             pts = rng.random((60, 3))
         b = 7
-        gammas = gamma_levels(b)
         for pair in pair_systems(3, include_partial=False):
-            # Ground truth: the serial schedule's per-level passes.
-            expect = np.stack(
-                [
-                    count_dominators(
-                        level_transform(pts, pair, float(g), side)
-                    )
-                    for g in gammas
-                ],
-                axis=1,
-            )
-            got = np.zeros((60, b + 1), dtype=np.int64)
-            for lo, hi in pipeline.plan_chunks(60, 2, chunk_size=17):
-                ids, counts = pipeline.level_counts_range(
-                    pts, pair, b, side, lo, hi
+            full_a, full_b = pair_level_data(pts, pair, b)
+            got_a = np.zeros_like(full_a)
+            got_b = np.zeros_like(full_b)
+            for lo, hi in pipeline.plan_chunks(b, 2, chunk_size=3):
+                part_a, part_b = pair_level_data(
+                    pts, pair, b, levels=range(lo, hi)
                 )
-                got[ids] += counts
-            assert np.array_equal(got[:, 1:b], expect)
+                got_a += part_a
+                got_b += part_b
+            assert np.array_equal(got_a, full_a)
+            assert np.array_equal(got_b, full_b)
 
-    def test_b_equals_one_returns_zeros(self):
+    def test_b_equals_one_single_chunk(self):
         pts = np.random.default_rng(0).random((10, 2))
         pair = pair_systems(2, include_partial=False)[0]
-        ids, counts = pipeline.level_counts_range(pts, pair, 1, "a", 0, 10)
-        assert counts.shape == (10, 2)
-        assert not counts.any()
+        assert pipeline.plan_chunks(1, 4) == [(1, 2)]
+        a_levels, b_levels = pair_level_data(pts, pair, 1, levels=[1])
+        # Only the subspace passes exist at B = 1.
+        assert a_levels.shape == (10, 2)
+        assert a_levels[:, 1].any() or b_levels[:, 0].any()
 
 
 class TestBuildLevelData:
@@ -78,7 +72,7 @@ class TestBuildLevelData:
         pts = rng.random((80, 3))
         b = 6
         dominators, level_data, systems = pipeline.build_level_data(
-            pts, b, include_partial=True, workers=2, chunk_size=25
+            pts, b, include_partial=True, workers=2, chunk_size=2
         )
         assert np.array_equal(dominators, count_dominators(pts))
         assert len(level_data) == len(pair_systems(3, include_partial=True))
@@ -93,13 +87,14 @@ class TestBuildLevelData:
         pts = np.random.default_rng(3).random((40, 2))
         metrics = Metrics()
         pipeline.build_level_data(
-            pts, 4, include_partial=False, workers=2, chunk_size=20,
+            pts, 4, include_partial=False, workers=2, chunk_size=2,
             metrics=metrics,
         )
         assert metrics.counters["build.chunks"] == 2
-        # 1 dom + per (system, side): 1 sub + 2 lev chunks.
-        assert metrics.counters["build.tasks"] == 1 + 2 * (1 + 2)
+        # 1 dom task + 2 level-range tasks for the single 2-D system.
+        assert metrics.counters["build.tasks"] == 1 + 2
         assert "build.phase.levels" in metrics.timers
+        assert "counting.kernel" in metrics.timers
 
     def test_pool_engages_when_forced(self, monkeypatch):
         monkeypatch.setattr(pipeline, "POOL_MIN_N", 0)
@@ -107,7 +102,7 @@ class TestBuildLevelData:
         pts = np.random.default_rng(9).random((50, 3))
         metrics = Metrics()
         dominators, level_data, _ = pipeline.build_level_data(
-            pts, 5, include_partial=False, workers=2, chunk_size=20,
+            pts, 5, include_partial=False, workers=2, chunk_size=2,
             metrics=metrics,
         )
         assert metrics.counters["build.pool_used"] == 1
@@ -133,20 +128,22 @@ class TestBuildLevelData:
 class TestBoundaryExactness:
     def test_tie_heavy_lattice_identical_to_serial(self):
         # Integer lattices put every gamma threshold exactly on a
-        # constraint boundary — the worst case for the float sweep.
+        # constraint boundary — the worst case for any float shortcut;
+        # the fused kernel compares the serial path's exact values.
         rng = np.random.default_rng(21)
         pts = rng.integers(0, 3, size=(70, 3)).astype(float)
         serial = appri_build(pts, n_partitions=9).layers
         chunked = appri_build(pts, n_partitions=9, workers=3).layers
         assert np.array_equal(serial, chunked)
 
-    def test_recheck_counter_fires_on_boundary_data(self):
-        # Duplicated coordinates force gamma* to sit exactly on wedge
-        # boundaries, so some pairs must take the exact-recheck path.
+    def test_boundary_lattice_matches_legacy_engine(self):
+        # Duplicated coordinates put pairs exactly on wedge boundaries;
+        # the fused kernel must agree with the per-level legacy passes.
         pts = np.array(
             [[float(i % 4), float((i * 3) % 4)] for i in range(24)]
         )
-        build = appri_build(pts, n_partitions=8, workers=2)
-        serial = appri_build(pts, n_partitions=8)
-        assert np.array_equal(build.layers, serial.layers)
-        assert build.metrics["counters"].get("build.recheck_pairs", 0) > 0
+        fused = appri_build(pts, n_partitions=8).layers
+        legacy = appri_build(pts, n_partitions=8, counting="blocked").layers
+        assert np.array_equal(fused, legacy)
+        chunked = appri_build(pts, n_partitions=8, workers=2).layers
+        assert np.array_equal(fused, chunked)
