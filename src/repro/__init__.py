@@ -27,7 +27,7 @@ Quick start::
 
 from . import obs
 from .core.appri import appri_build, appri_layers
-from .core.exact import exact_robust_layers, minimal_rank
+from .core.exact import exact_build, exact_robust_layers, minimal_rank
 from .core.dynamic import DynamicRobustLayers
 from .core.signed import SignedRobustLayers
 from .core.validate import audit_layering
@@ -66,6 +66,7 @@ __all__ = [
     "appri_layers",
     "appri_build",
     "obs",
+    "exact_build",
     "exact_robust_layers",
     "minimal_rank",
     "grid_weight_workload",

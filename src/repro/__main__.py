@@ -128,7 +128,11 @@ def _cmd_audit(args) -> int:
 
     index = RobustIndex.load(args.index)
     report = audit_layering(
-        index.points, index.layers, n_queries=args.queries, seed=args.seed
+        index.points,
+        index.layers,
+        n_queries=args.queries,
+        seed=args.seed,
+        engine=args.engine,
     )
     print(report.summary())
     return 0 if report.sound else 1
@@ -252,6 +256,53 @@ def _cmd_stats(args) -> int:
     batch_s = batch_metrics.timers.get("index.batch", 0.0)
     if batch_s > 0:
         print(f"\nbatch speedup over the per-query loop: {loop_s / batch_s:.1f}x")
+
+    if args.exact:
+        print()
+        if data.shape[1] <= 3:
+            from repro.indexes.robust import ExactRobustIndex
+
+            eidx = ExactRobustIndex(
+                data, engine=args.exact_engine, workers=args.workers
+            )
+            einfo = eidx.build_info()
+            emetrics = obs.Metrics.from_dict(eidx.build_metrics)
+            print(
+                emetrics.summary(
+                    f"exact build metrics (engine={einfo['engine']}, "
+                    f"{einfo['build_seconds']:.2f}s, "
+                    f"{einfo['n_layers']} layers):"
+                )
+            )
+            deeper = int(np.count_nonzero(index.layers > eidx.layers))
+            print(
+                f"\nexactness gap: {deeper} of {index.size} tuples sit "
+                f"deeper than their exact robust layer"
+            )
+        else:
+            from repro.core.exact import minimal_rank_sampled
+
+            rng = np.random.default_rng(args.seed)
+            sample = rng.choice(
+                data.shape[0],
+                size=min(32, data.shape[0]),
+                replace=False,
+            )
+            bounds = [
+                minimal_rank_sampled(data, int(t), with_bounds=True)
+                for t in sample
+            ]
+            gaps = np.array([b.gap for b in bounds])
+            closed = int(np.count_nonzero(gaps == 0))
+            print(
+                f"exact rank bounds (d={data.shape[1]} > 3: sampled "
+                f"upper vs dominance lower, {sample.size} tuples):"
+            )
+            print(
+                f"  gap min/median/max: {int(gaps.min())}/"
+                f"{int(np.median(gaps))}/{int(gaps.max())}   "
+                f"closed (gap 0): {closed}/{sample.size}"
+            )
 
     if args.cache_size > 0:
         # Cache-warm serving demo: one cold pass at k (misses), one
@@ -437,6 +488,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("index")
     p.add_argument("--queries", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "legacy", "kinetic", "prune"],
+                   help="exact engine for the exact-layer comparison")
 
     p = sub.add_parser("sql", help="run a ranked SQL statement on a CSV")
     p.add_argument("data", help="CSV backing the table named in FROM")
@@ -482,6 +536,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-size", type=int, default=256,
                    help="result-cache capacity for the cache-serving "
                         "report (0 disables the cache section)")
+    p.add_argument("--exact", action="store_true",
+                   help="also build with the exact engine (d <= 3) and "
+                        "report exact.* metrics plus the exactness gap; "
+                        "for d > 3 report sampled rank-bound gaps")
+    p.add_argument("--exact-engine", default="auto",
+                   choices=["auto", "legacy", "kinetic", "prune"],
+                   help="exact engine for the --exact section")
 
     p = sub.add_parser(
         "snapshot",

@@ -49,7 +49,12 @@ from ..dstruct.kernels import (
 from ..geometry.weights import gamma_levels
 from .partitioning import SubspacePair
 
-__all__ = ["pair_level_data", "SUBSPACE_LEVEL"]
+__all__ = [
+    "pair_level_data",
+    "SUBSPACE_LEVEL",
+    "suffix_smaller_counts",
+    "crossing_partners",
+]
 
 #: Sentinel level index for the two full-subspace passes of a system:
 #: ``levels`` containing ``n_partitions`` requests the ``|a|``/``|b|``
@@ -168,3 +173,183 @@ def pair_level_data(
                 np.bitwise_and(bil, acc_b, out=combine)
                 b_levels[:, p] += popcount_rows(combine)
     return a_levels, b_levels
+
+
+def _kernel_buffer(scratch: dict, name, size: int, dtype) -> np.ndarray:
+    """A reusable flat array of at least ``size`` entries.
+
+    The exact-engine kernels below run once per sweep window; reusing
+    grown buffers keeps their hot loops in warm, already-faulted
+    memory instead of paying the allocator's page-fault tax per call.
+    """
+    buf = scratch.get(name)
+    if buf is None or buf.size < size or buf.dtype != dtype:
+        buf = np.empty(max(size, 1), dtype=dtype)
+        scratch[name] = buf
+    return buf[:size]
+
+
+def suffix_smaller_counts(
+    perm: np.ndarray, scratch: dict | None = None
+) -> np.ndarray:
+    """Per-element inversion counts of a permutation.
+
+    ``perm`` maps rank positions of one total order to ranks in a
+    second order (a permutation of ``0..n-1``).  Returns ``out`` with
+    ``out[p] = #{q > p : perm[q] < perm[p]}`` — how many elements
+    behind position ``p`` in the first order sit ahead of it in the
+    second.  For the kinetic d=2 sweep this is exactly the number of
+    score-crossing events a tuple participates in inside one probe
+    window (in the rank-increasing direction), which bounds how far
+    its rank trajectory can drop between the window's edges.
+
+    Runs in ``O(n * sqrt(n))`` flat numpy work: positions are
+    processed in ``~sqrt(n)`` chunks, each resolved against a running
+    presence prefix-sum over the value domain (suffix contribution)
+    plus one small triangular block comparison (intra-chunk
+    contribution).  No Python-level per-element work.
+    """
+    a = np.asarray(perm)
+    n = a.size
+    out = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return out
+    if scratch is None:
+        scratch = {}
+    chunk = max(64, int(1.6 * np.sqrt(n)))
+    present = _kernel_buffer(scratch, "ssc.present", n, np.int64)
+    present[:] = 1
+    cum = _kernel_buffer(scratch, "ssc.cum", n, np.int64)
+    mask = scratch.get(("ssc.mask", chunk))
+    if mask is None:
+        # Strict upper triangle: within-chunk pairs (i, j) with j > i.
+        mask = np.tri(chunk, k=-1, dtype=bool).T.copy()
+        scratch[("ssc.mask", chunk)] = mask
+    cmp = _kernel_buffer(scratch, "ssc.cmp", chunk * chunk, np.bool_)
+    for p0 in range(0, n, chunk):
+        p1 = min(p0 + chunk, n)
+        blk = a[p0:p1]
+        width = p1 - p0
+        # Drop this chunk first so ``present`` flags exactly the strict
+        # suffix [p1:); the prefix-sum then answers "how many suffix
+        # values are < v" for every v in the chunk at once (the chunk's
+        # own slots are zero, so inclusive cumsum is exclusive in v).
+        present[blk] = 0
+        np.cumsum(present, out=cum)
+        out[p0:p1] = cum[blk]
+        block_cmp = cmp[: width * width].reshape(width, width)
+        np.less(blk[None, :], blk[:, None], out=block_cmp)
+        block_cmp &= mask[:width, :width]
+        out[p0:p1] += block_cmp.sum(axis=1)
+    return out
+
+
+def crossing_partners(
+    perm: np.ndarray,
+    query_pos: np.ndarray,
+    block: int = 256,
+    scratch: dict | None = None,
+):
+    """Report every order-crossing partner of the queried positions.
+
+    With ``perm`` as in :func:`suffix_smaller_counts` (first-order
+    position -> second-order rank), element ``s`` at position ``q``
+    *crosses* the query element at position ``p`` when their relative
+    order differs between the two orders.  For each entry of
+    ``query_pos`` this reports all crossing positions, split by
+    direction:
+
+    Returns ``(owner, partner_pos, rising)`` — parallel arrays with
+    one row per crossing; ``owner`` indexes into ``query_pos``,
+    ``partner_pos`` is the partner's first-order position, and
+    ``rising`` is True where the partner moves ahead of the owner
+    (``q > p`` and ``perm[q] < perm[p]``), False where it falls behind
+    (``q < p`` and ``perm[q] > perm[p]``).
+
+    The cost is output-sensitive: blocks of the position axis are
+    value-sorted once, each query counts full blocks by binary search
+    and materializes only its actual partners (plus one small
+    comparison against its own block), so sparse crossing sets never
+    pay an ``O(n)`` scan per query.
+    """
+    a = np.asarray(perm)
+    n = a.size
+    query_pos = np.asarray(query_pos, dtype=np.intp)
+    m = query_pos.size
+    empty = (
+        np.zeros(0, dtype=np.intp),
+        np.zeros(0, dtype=np.intp),
+        np.zeros(0, dtype=np.bool_),
+    )
+    if n == 0 or m == 0:
+        return empty
+    if scratch is None:
+        scratch = {}
+    n_blocks = -(-n // block)
+    padded = n_blocks * block
+    # Sentinel n sorts after every real rank and never compares as
+    # "smaller"; the before-own-position scan can never reach a
+    # sentinel column (they only trail the last real position).
+    vals = _kernel_buffer(scratch, "cp.vals", padded, np.int64)
+    vals[n:] = n
+    vals[:n] = a
+    vals2d = vals.reshape(n_blocks, block)
+    order2d = np.argsort(vals2d, axis=1, kind="stable")
+    sorted2d = np.take_along_axis(vals2d, order2d, axis=1)
+    lengths = np.minimum(n - block * np.arange(n_blocks), block)
+
+    qorder = np.argsort(query_pos, kind="stable")
+    ps = query_pos[qorder]
+    vs = a[ps]
+    qblock = ps // block
+
+    owners: list[np.ndarray] = []
+    partners: list[np.ndarray] = []
+    rising: list[np.ndarray] = []
+
+    def _emit(owner_idx, counts, slot_base, block_id, rise):
+        total = int(counts.sum())
+        if not total:
+            return
+        offsets = np.cumsum(counts) - counts
+        rep = np.repeat(np.arange(owner_idx.size), counts)
+        slot = np.arange(total) - offsets[rep] + slot_base[rep]
+        owners.append(qorder[owner_idx[rep]])
+        partners.append(block_id * block + order2d[block_id, slot])
+        rising.append(np.full(total, rise, dtype=np.bool_))
+
+    zeros = np.zeros(m, dtype=np.int64)
+    for b in range(n_blocks):
+        row = sorted2d[b, : lengths[b]]
+        # Rising partners live in blocks strictly after the owner's.
+        k = int(np.searchsorted(qblock, b, side="left"))
+        if k:
+            counts = np.searchsorted(row, vs[:k], side="left")
+            _emit(np.arange(k), counts, zeros[:k], b, True)
+        # Falling partners live in blocks strictly before the owner's.
+        k2 = int(np.searchsorted(qblock, b, side="right"))
+        if k2 < m:
+            high = np.searchsorted(row, vs[k2:], side="right")
+            counts = lengths[b] - high
+            _emit(np.arange(k2, m), counts, high, b, False)
+
+    # Own-block partners: one dense comparison per query row.
+    col = np.arange(block)
+    own_vals = vals2d[qblock]
+    within = ps - qblock * block
+    rise_mask = (own_vals < vs[:, None]) & (col[None, :] > within[:, None])
+    fall_mask = (own_vals > vs[:, None]) & (col[None, :] < within[:, None])
+    for mask_arr, rise in ((rise_mask, True), (fall_mask, False)):
+        qi, ci = np.nonzero(mask_arr)
+        if qi.size:
+            owners.append(qorder[qi])
+            partners.append(qblock[qi] * block + ci)
+            rising.append(np.full(qi.size, rise, dtype=np.bool_))
+
+    if not owners:
+        return empty
+    return (
+        np.concatenate(owners),
+        np.concatenate(partners),
+        np.concatenate(rising),
+    )

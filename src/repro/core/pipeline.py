@@ -49,6 +49,7 @@ from .partitioning import pair_systems
 __all__ = [
     "build_level_data",
     "plan_chunks",
+    "run_exact_refine",
     "POOL_MIN_N",
 ]
 
@@ -104,6 +105,29 @@ def _init_worker(points, n_partitions, include_partial):
     _WORKER["systems"] = pair_systems(
         _WORKER["pts"].shape[1], include_partial=include_partial
     )
+
+
+def _init_exact_worker(points):
+    _WORKER["exact_pts"] = np.asarray(points, dtype=float)
+
+
+def _run_refine_block(block):
+    """Refine one block of open tuples; returns (ranks, metrics dict).
+
+    The exact module is imported lazily inside the worker to keep
+    pipeline importable from :mod:`repro.core.exact` without a cycle.
+    """
+    from .exact import _refine_open_tuple
+
+    ids, uppers, lowers = block
+    pts = _WORKER["exact_pts"]
+    out = np.empty(len(ids), dtype=np.intp)
+    local = obs.Metrics()
+    with obs.collect(local, propagate=False):
+        for i, (t, u, lo) in enumerate(zip(ids, uppers, lowers)):
+            out[i] = _refine_open_tuple(pts, int(t), int(u), int(lo))
+        obs.inc("exact.refine_blocks")
+    return out, local.as_dict()
 
 
 def _run_task(task):
@@ -210,3 +234,59 @@ def build_level_data(
             level_data[s][0][:] += a_part
             level_data[s][1][:] += b_part
     return dominators, level_data, systems
+
+
+def run_exact_refine(
+    points: np.ndarray,
+    open_ids: np.ndarray,
+    upper: np.ndarray,
+    lower: np.ndarray,
+    workers: int,
+    block_size: int | None = None,
+) -> np.ndarray:
+    """Refine the open tuples of a d=3 exact build over a process pool.
+
+    Each task runs the same per-tuple subdivision solver the serial
+    path runs (:func:`repro.core.exact._refine_open_tuple`) on a
+    contiguous block of open tuple ids with their probe upper bounds
+    and certified lower bounds, so the refined ranks are identical to
+    serial refinement for any ``workers`` or ``block_size``.  Falls
+    back to inline execution when the pool cannot pay for itself
+    (single usable core, or a single block).  Worker-side ``exact.*``
+    metrics are merged into the caller's active collector.
+    """
+    pts = np.asarray(points, dtype=float)
+    open_ids = np.asarray(open_ids)
+    upper = np.asarray(upper)
+    lower = np.asarray(lower)
+    m = open_ids.size
+    if m == 0:
+        return np.zeros(0, dtype=np.intp)
+    if block_size is None:
+        block_size = -(-m // (4 * max(workers, 1)))
+    block_size = max(1, int(block_size))
+    blocks = [
+        (
+            open_ids[lo : lo + block_size],
+            upper[lo : lo + block_size],
+            lower[lo : lo + block_size],
+        )
+        for lo in range(0, m, block_size)
+    ]
+    use_pool = workers > 1 and len(blocks) > 1 and _usable_cpus() > 1
+    obs.inc("exact.pool_used", int(use_pool))
+    if use_pool:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(blocks)),
+            initializer=_init_exact_worker,
+            initargs=(pts,),
+        ) as pool:
+            results = list(pool.map(_run_refine_block, blocks))
+    else:
+        _init_exact_worker(pts)
+        results = [_run_refine_block(block) for block in blocks]
+    active = obs.active_metrics()
+    if active is not None:
+        for _, block_metrics in results:
+            active.merge(block_metrics)
+    return np.concatenate([ranks for ranks, _ in results])

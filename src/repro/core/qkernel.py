@@ -52,6 +52,13 @@ __all__ = ["topk_select", "batch_topk"]
 #: wins; above it a full lexsort is both simpler and faster.
 _PARTITION_RATIO = 4
 
+#: Candidate sets at or below this size skip the partition prefilter
+#: outright.  At small C the prefilter's extra passes (partition, two
+#: flatnonzero scans, boundary-tie repair) cost more than just
+#: lexsorting everything — the d = 2 throughput benchmark showed the
+#: prefilter at 0.5-0.7x of the plain lexsort for C < ~200.
+_SMALL_C = 256
+
 #: Leading score columns used by the masked batch path to bound each
 #: row's k-th score.  Because candidate columns arrive in layer order
 #: (best tuples first), the k-th smallest of this window is a tight
@@ -74,7 +81,7 @@ def topk_select(scores: np.ndarray, tids: np.ndarray, k: int) -> np.ndarray:
     if k <= 0 or n == 0:
         return np.zeros(0, dtype=np.intp)
     k = min(int(k), n)
-    if k * _PARTITION_RATIO >= n:
+    if k * _PARTITION_RATIO >= n or n <= _SMALL_C:
         order = np.lexsort((tids, scores))
         return tids[order[:k]]
     part = np.argpartition(scores, k - 1)[:k]
@@ -208,10 +215,15 @@ def batch_topk(
     if k <= 0 or n_candidates == 0:
         return np.zeros((n_queries, 0), dtype=np.intp)
     k = min(int(k), n_candidates)
-    if k * _PARTITION_RATIO >= n_candidates or k >= n_candidates:
-        # Near-full ranking: lexsort every row via two stable argsorts
-        # (tid pre-ordering makes the score sort's stability realize
-        # the tid tie-break).
+    if (
+        k * _PARTITION_RATIO >= n_candidates
+        or k >= n_candidates
+        or n_candidates <= _SMALL_C
+    ):
+        # Near-full ranking (or a candidate set too small for the
+        # partition passes to pay off): lexsort every row via two
+        # stable argsorts (tid pre-ordering makes the score sort's
+        # stability realize the tid tie-break).
         tid_order = np.argsort(tids, kind="stable")
         ordered = np.argsort(
             scores[:, tid_order], axis=1, kind="stable"

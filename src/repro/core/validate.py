@@ -58,6 +58,7 @@ def audit_layering(
     seed: int | None = 0,
     check_exact: bool | None = None,
     mass_ks: tuple[int, ...] = (10, 50, 100),
+    engine: str = "auto",
 ) -> AuditReport:
     """Probe a layering for soundness.
 
@@ -70,8 +71,13 @@ def audit_layering(
         several k values.
     check_exact:
         Also verify ``layers <= exact_robust_layers`` tuple by tuple.
-        Defaults to on for small inputs (n <= 400, d <= 3) where the
-        exact solvers are cheap.
+        Defaults to on where the exact engines are cheap: d = 2 up to
+        n <= 2000 (kinetic sweep) and d = 3 up to n <= 400
+        (prune-and-refine).
+    engine:
+        Exact engine used for the ``check_exact`` comparison; see
+        :func:`repro.core.exact.exact_build`.  All engines agree
+        bit-for-bit, so this only changes audit speed.
     """
     pts = np.asarray(points, dtype=float)
     layers = np.asarray(layers)
@@ -92,12 +98,14 @@ def audit_layering(
             violations += int(violating_tids(pts, layers, query, k).size)
 
     if check_exact is None:
-        check_exact = n <= 400 and d <= 3
+        check_exact = (d == 1 and n <= 10_000) or (
+            d == 2 and n <= 2000
+        ) or (d == 3 and n <= 400)
     exceeds = 0
     if check_exact and n:
         from .exact import exact_robust_layers
 
-        exact = exact_robust_layers(pts)
+        exact = exact_robust_layers(pts, engine=engine)
         exceeds = int(np.count_nonzero(layers > exact))
 
     mass = {

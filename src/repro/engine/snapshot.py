@@ -441,6 +441,7 @@ def _robust_restorer(cls) -> Callable:
         index = cls.__new__(cls)
         _restore_layered(index, arrays)
         index._batch_scratch = {}
+        index._tid_views = {}
         index._build_metrics = {}
         index._n_partitions = int(meta.get("n_partitions", 0))
         index._systems = meta.get("systems", "complementary")

@@ -18,6 +18,8 @@ __all__ = [
     "simplex_grid",
     "sample_simplex",
     "gamma_levels",
+    "segment_probes",
+    "triangle_probes",
 ]
 
 
@@ -72,6 +74,50 @@ def sample_simplex(
     """Uniform samples from the weight simplex (Dirichlet(1,...,1))."""
     rng = np.random.default_rng(seed)
     return rng.dirichlet(np.ones(dimensions), size=n_samples)
+
+
+def segment_probes(n_windows: int) -> np.ndarray:
+    """Evenly spaced probe positions for the d=2 kinetic sweep.
+
+    The d=2 weight simplex is the segment ``w = (lam, 1 - lam)``,
+    ``lam`` in [0, 1].  Returns the ``n_windows + 1`` window edges
+    ``0 = lam_0 < ... < lam_{n_windows} = 1``; both endpoints are the
+    corner queries, which must be probed explicitly because the rank
+    there is tie-broken by tid, not by a neighbouring interval.
+    """
+    if n_windows < 1:
+        raise ValueError("n_windows must be positive")
+    return np.linspace(0.0, 1.0, n_windows + 1)
+
+
+def triangle_probes(resolution: int, corner_eps: float = 1e-7) -> np.ndarray:
+    """Probe points ``(a, b)`` on the d=3 weight triangle.
+
+    The d=3 simplex is parametrized by ``w = (a, b, 1 - a - b)`` over
+    the triangle ``a, b >= 0, a + b <= 1``.  Returns the legacy exact
+    solver's four seed candidates (three nudged corners plus the
+    centroid — kept bit-for-bit so probe evaluations reproduce its
+    corner ranks) followed by the *interior* barycentric grid of the
+    given resolution.  Boundary grid points are excluded on purpose:
+    on a simplex edge a tuple whose score-difference line runs along
+    that edge ties everywhere, which the exact solver only accounts
+    for at the arrangement vertices it enumerates — probing such a
+    point could report a rank below the exact engine's minimum.  The
+    prune engine uses these as the shared upper-bound probes before
+    refinement.
+    """
+    corners = np.array(
+        [
+            [corner_eps, corner_eps],
+            [1 - 2 * corner_eps, corner_eps],
+            [corner_eps, 1 - 2 * corner_eps],
+            [1 / 3, 1 / 3],
+        ]
+    )
+    grid = simplex_grid(3, resolution)[:, :2]
+    a, b = grid[:, 0], grid[:, 1]
+    interior = (a > 0) & (b > 0) & (a + b < 1)
+    return np.vstack([corners, grid[interior]])
 
 
 def gamma_levels(n_partitions: int) -> np.ndarray:

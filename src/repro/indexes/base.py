@@ -19,7 +19,7 @@ from ..queries.ranking import LinearQuery
 __all__ = ["QueryResult", "RankedIndex", "rank_candidates"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueryResult:
     """Outcome of one top-k query against an index.
 
@@ -62,10 +62,12 @@ class RankedIndex(ABC):
 
     @property
     def size(self) -> int:
+        """Number of indexed tuples."""
         return self._points.shape[0]
 
     @property
     def dimensions(self) -> int:
+        """Number of ranked attributes."""
         return self._points.shape[1]
 
     def _check_query(self, query: LinearQuery, k: int) -> int:

@@ -15,13 +15,22 @@ import numpy as np
 
 from .. import obs
 from ..core.appri import appri_build
-from ..core.exact import exact_robust_layers
+from ..core.exact import exact_build
 from ..core.index import layer_offsets, layer_order
 from ..core.qkernel import batch_topk, topk_select
 from ..queries.ranking import LinearQuery
 from .base import QueryResult, RankedIndex
 
 __all__ = ["RobustIndex", "ExactRobustIndex"]
+
+#: Candidate prefixes at or below this many rows are served from a
+#: cached tid-sorted copy of the slab prefix (one per distinct prefix
+#: length), which lets :meth:`RobustIndex.query` rank with a single
+#: stable ``argsort`` instead of a two-key ``lexsort`` — the dominant
+#: cost at small candidate counts.  Larger prefixes fall back to the
+#: partition kernel, where duplicating the prefix would cost real
+#: memory for no win.
+_TID_VIEW_MAX = 8192
 
 
 class RobustIndex(RankedIndex):
@@ -96,6 +105,30 @@ class RobustIndex(RankedIndex):
         # the kernel's probe/mask buffers); rebuilt with the slab so a
         # reload never aliases stale shapes.
         self._batch_scratch: dict = {}
+        # Per-prefix tid-sorted candidate views (see _tid_view).
+        self._tid_views: dict = {}
+
+    def _tid_view(self, prefix: int):
+        """``(slab_rows, tids, layers_scanned)`` for a small prefix,
+        with rows and tids sorted by ascending tid.
+
+        With candidates in tid order, one stable ``argsort`` of the
+        scores realizes the full ``(score, tid)`` lexsort (ties keep
+        positional — i.e. tid — order), so the single-query path can
+        skip the lexsort's second key pass.  The prefix depends only
+        on k, so views are built once and reused across the workload.
+        """
+        view = self._tid_views.get(prefix)
+        if view is None:
+            candidates = self._order[:prefix]
+            by_tid = np.argsort(candidates)
+            view = (
+                np.ascontiguousarray(self._slab[:prefix][by_tid]),
+                candidates[by_tid],
+                int(self._layers[candidates[-1]]) if prefix else 0,
+            )
+            self._tid_views[prefix] = view
+        return view
 
     @property
     def layers(self) -> np.ndarray:
@@ -130,19 +163,32 @@ class RobustIndex(RankedIndex):
         return self._slab
 
     def query(self, query: LinearQuery, k: int) -> QueryResult:
+        """Answer one top-k query from the first k layers.
+
+        Small candidate prefixes are ranked with a single stable
+        ``argsort`` over a cached tid-sorted view (see
+        :meth:`_tid_view`); large ones go through the partition
+        kernel.  Both realize the exact ``(score, tid)`` tie rule.
+        """
         k = self._check_query(query, k)
         if k == 0:
             return QueryResult(np.zeros(0, dtype=np.intp), 0, 0)
         with obs.timed("index.query"):
             prefix = self.retrieval_cost(k)
-            candidates = self._order[:prefix]
-            scores = self._slab[:prefix] @ query.weights
-            tids = topk_select(scores, candidates, k)
-            # The slab is (layer, tid)-ordered, so the deepest layer
-            # touched is the last candidate's.
-            layers_scanned = (
-                int(self._layers[candidates[-1]]) if prefix else 0
-            )
+            if prefix <= _TID_VIEW_MAX:
+                slab_rows, cand_tid, layers_scanned = self._tid_view(prefix)
+                scores = query.scores(slab_rows)
+                order = np.argsort(scores, kind="stable")
+                tids = cand_tid[order[:k]]
+            else:
+                candidates = self._order[:prefix]
+                scores = self._slab[:prefix] @ query.weights
+                tids = topk_select(scores, candidates, k)
+                # The slab is (layer, tid)-ordered, so the deepest
+                # layer touched is the last candidate's.
+                layers_scanned = (
+                    int(self._layers[candidates[-1]]) if prefix else 0
+                )
         obs.inc("index.queries")
         obs.inc("index.candidates", prefix)
         obs.inc("index.layers_scanned", layers_scanned)
@@ -245,19 +291,41 @@ class RobustIndex(RankedIndex):
 
 
 class ExactRobustIndex(RobustIndex):
-    """Robust index built with the exact solver (d <= 3, small n).
+    """Robust index built with an exact solver (d <= 3).
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` data matrix with ``d <= 3``.
+    engine:
+        Exact engine selection, forwarded to
+        :func:`repro.core.exact.exact_build`: ``"auto"`` (default)
+        picks the shared-work engine for the dimensionality —
+        ``"kinetic"`` (one global rotating sweep, d = 2) or
+        ``"prune"`` (bound-driven prune-and-refine, d = 3) — while
+        ``"legacy"`` forces the per-tuple reference solver.  All
+        engines produce bit-identical layers.
+    workers:
+        Worker processes for the d = 3 refinement fan-out (ignored by
+        the other engines).
 
     Exists for the exactness-gap ablation and for ground-truth tests;
-    the build is ``O(n^2 log n)`` (d = 2) / ``O(n^3)``-ish (d = 3) so
-    keep n modest.
+    with the shared-work engines, n in the tens of thousands (d = 2)
+    or thousands (d = 3) is practical.
     """
 
     name = "ExactRI"
 
-    def __init__(self, points: np.ndarray):
+    def __init__(
+        self, points: np.ndarray, engine: str = "auto", workers: int = 1
+    ):
         RankedIndex.__init__(self, points)
         started = time.perf_counter()
-        self._layers = exact_robust_layers(self._points)
+        build = exact_build(self._points, engine=engine, workers=workers)
+        self._layers = build.layers
+        self._build_metrics = build.metrics
+        self._engine = build.engine
+        self._workers = workers
         self._build_seconds = time.perf_counter() - started
         self._n_partitions = 0
         self._order = layer_order(self._layers)
@@ -267,4 +335,5 @@ class ExactRobustIndex(RobustIndex):
     def build_info(self) -> dict:
         info = super().build_info()
         info["method"] = "exact"
+        info["engine"] = getattr(self, "_engine", "legacy")
         return info

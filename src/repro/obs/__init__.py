@@ -115,15 +115,33 @@ def add_time(name: str, seconds: float) -> None:
         metrics.add_time(name, seconds)
 
 
-@contextmanager
-def timed(name: str):
+class _Timed:
+    """Context manager timing a block into the active collector.
+
+    A plain class rather than ``@contextmanager``: the per-query hot
+    path enters one of these on every call, and generator-based
+    context managers cost ~2us each where this costs a fraction of
+    that (and nearly nothing when no collector is active).
+    """
+
+    __slots__ = ("_name", "_metrics", "_started")
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __enter__(self):
+        self._metrics = _ACTIVE.get()
+        if self._metrics is not None:
+            self._started = time.perf_counter()
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._metrics is not None:
+            self._metrics.add_time(
+                self._name, time.perf_counter() - self._started
+            )
+        return False
+
+
+def timed(name: str) -> _Timed:
     """Time the wrapped block into the active collector (no-op without)."""
-    metrics = _ACTIVE.get()
-    if metrics is None:
-        yield
-        return
-    started = time.perf_counter()
-    try:
-        yield
-    finally:
-        metrics.add_time(name, time.perf_counter() - started)
+    return _Timed(name)

@@ -21,6 +21,32 @@ def sampled_upper_bounds(pts, **kw):
     )
 
 
+def crossing_aware_upper_bounds_2d(pts):
+    """Sampled ranks at every pairwise crossing lam and the midpoints
+    between consecutive crossings — the only places a d=2 minimal rank
+    can live, so this reference finds optima that sit on arbitrarily
+    narrow intervals a uniform grid would skip."""
+    n = pts.shape[0]
+    lams = {0.0, 0.5, 1.0}
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = pts[j] - pts[i]
+            if (d[0] < 0 < d[1]) or (d[1] < 0 < d[0]):
+                lams.add(float(d[1] / (d[1] - d[0])))
+    lams = np.array(sorted(lams))
+    cand = np.concatenate([lams, (lams[1:] + lams[:-1]) / 2.0])
+    scores = pts @ np.column_stack([cand, 1.0 - cand]).T  # (n, q)
+    best = np.full(n, n, dtype=np.intp)
+    tids = np.arange(n)
+    for q in range(scores.shape[1]):
+        s = scores[:, q]
+        order = np.lexsort((tids, s))
+        pos = np.empty(n, dtype=np.intp)
+        pos[order] = tids
+        np.minimum(best, pos, out=best)
+    return best + 1
+
+
 class TestOneDimension:
     def test_full_ranking(self):
         pts = np.array([[3.0], [1.0], [2.0]])
@@ -66,9 +92,14 @@ class TestTwoDimensions:
     @settings(max_examples=30, deadline=None)
     def test_matches_dense_sampling(self, pts):
         exact = exact_robust_layers(pts)
-        ub = sampled_upper_bounds(pts, n_samples=300, grid_resolution=64)
+        ub = np.minimum(
+            sampled_upper_bounds(pts, n_samples=300, grid_resolution=64),
+            crossing_aware_upper_bounds_2d(pts),
+        )
         assert np.all(exact <= ub)
-        # A fine grid in 2-D almost always finds the optimum.
+        # With the crossing structure in the sample set the optimum is
+        # almost always found (a uniform grid alone can miss minima
+        # that live only on arbitrarily narrow inter-event intervals).
         assert (exact == ub).mean() >= 0.9
 
     def test_tie_exactly_at_event(self):
